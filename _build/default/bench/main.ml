@@ -1,0 +1,732 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5).  Each section prints the measured series next to the
+   numbers the paper reports, so the shape comparison is immediate.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig6    # one section
+     dune exec bench/main.exe -- list    # section names *)
+
+open Bunshin
+module E = Experiments
+
+let pct = Stats.pct
+let pct_opt = function Some v -> pct v | None -> "-"
+let section title = Printf.printf "\n=== %s ===\n\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: memory-error taxonomy and defenses *)
+
+let table1 () =
+  section "Table 1: taxonomy of memory errors and modelled defenses";
+  let t =
+    Table.create
+      [ ("Memory error", Table.Left); ("Main causes", Table.Left); ("Defenses", Table.Left) ]
+  in
+  let rows =
+    [
+      Memory_error.Out_of_bounds_write;
+      Memory_error.Use_after_free;
+      Memory_error.Uninitialized_read;
+      Memory_error.Undefined Memory_error.Div_by_zero;
+    ]
+  in
+  List.iter
+    (fun err ->
+      Table.add_row t
+        [
+          Memory_error.name err;
+          String.concat ", " (Memory_error.main_causes err);
+          String.concat ", " (Sanitizer.coverage_row err);
+        ])
+    rows;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3 & 4: NXE efficiency *)
+
+let fig3 () =
+  section "Figure 3: NXE efficiency on SPEC2006 (3 identical variants)";
+  let t =
+    Table.create
+      [ ("benchmark", Table.Left); ("strict", Table.Right); ("selective", Table.Right) ]
+  in
+  let results = List.map (fun b -> E.nxe_efficiency b) Spec.all in
+  List.iter
+    (fun r -> Table.add_row t [ r.E.ef_bench; pct r.E.ef_strict; pct r.E.ef_selective ])
+    results;
+  Table.add_sep t;
+  let avg f = Stats.mean (List.map f results) in
+  Table.add_row t
+    [ "average"; pct (avg (fun r -> r.E.ef_strict)); pct (avg (fun r -> r.E.ef_selective)) ];
+  Table.add_row t [ "paper avg"; "8.1%"; "5.3%" ];
+  Table.print t
+
+let fig4 () =
+  section "Figure 4: NXE efficiency on SPLASH-2x and PARSEC (4 threads)";
+  let t =
+    Table.create
+      [
+        ("benchmark", Table.Left); ("suite", Table.Left); ("strict", Table.Right);
+        ("selective", Table.Right);
+      ]
+  in
+  let results = List.map (fun b -> (b, E.nxe_efficiency b)) Multithreaded.supported in
+  List.iter
+    (fun (b, r) ->
+      Table.add_row t
+        [ r.E.ef_bench; Bench.suite_name b.Bench.suite; pct r.E.ef_strict;
+          pct r.E.ef_selective ])
+    results;
+  Table.add_sep t;
+  let avg f = Stats.mean (List.map (fun (_, r) -> f r) results) in
+  Table.add_row t
+    [ "average"; "-"; pct (avg (fun r -> r.E.ef_strict)); pct (avg (fun r -> r.E.ef_selective)) ];
+  Table.add_row t [ "paper avg"; "-"; "15.7%"; "13.8%" ];
+  Table.print t;
+  Printf.printf "Unsupported PARSEC members (as in 5.1):\n";
+  List.iter
+    (fun b ->
+      match b.Bench.unsupported_reason with
+      | Some reason -> Printf.printf "  %-13s %s\n" b.Bench.name reason
+      | None -> ())
+    Multithreaded.parsec
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: server latency *)
+
+let table2 () =
+  section "Table 2: lighttpd/nginx processing time per request (us)";
+  let t =
+    Table.create
+      [
+        ("config", Table.Left); ("conn", Table.Right); ("base", Table.Right);
+        ("strict", Table.Right); ("s-oh", Table.Right); ("selective", Table.Right);
+        ("sel-oh", Table.Right); ("paper base/strict/sel", Table.Left);
+      ]
+  in
+  let paper =
+    [
+      (Server.Lighttpd, 1, 64, 10.3, 11.9, 11.8);
+      (Server.Lighttpd, 1, 512, 8.71, 10.5, 10.1);
+      (Server.Lighttpd, 1, 1024, 8.48, 10.4, 10.1);
+      (Server.Lighttpd, 1024, 64, 974., 994., 992.);
+      (Server.Lighttpd, 1024, 512, 959., 972., 970.);
+      (Server.Lighttpd, 1024, 1024, 955., 964., 961.);
+      (Server.Nginx, 1, 64, 9.81, 11.6, 11.2);
+      (Server.Nginx, 1, 512, 8.46, 10.3, 9.88);
+      (Server.Nginx, 1, 1024, 8.20, 10.2, 9.63);
+      (Server.Nginx, 1024, 64, 950., 967., 964.);
+      (Server.Nginx, 1024, 512, 985., 999., 996.);
+      (Server.Nginx, 1024, 1024, 979., 998., 995.);
+    ]
+  in
+  let small_strict = ref [] and small_sel = ref [] in
+  let large_strict = ref [] and large_sel = ref [] in
+  List.iter
+    (fun (kind, file_kb, conns, pb, ps, psel) ->
+      let r = E.server_latency kind ~file_kb ~connections:conns in
+      let oh a b = (a -. b) /. b in
+      let os = oh r.E.sl_strict r.E.sl_base and osel = oh r.E.sl_selective r.E.sl_base in
+      if file_kb = 1 then begin
+        small_strict := os :: !small_strict;
+        small_sel := osel :: !small_sel
+      end
+      else begin
+        large_strict := os :: !large_strict;
+        large_sel := osel :: !large_sel
+      end;
+      Table.add_row t
+        [
+          Printf.sprintf "%s %dKB" (Server.kind_name kind) file_kb;
+          string_of_int conns;
+          Printf.sprintf "%.2f" r.E.sl_base;
+          Printf.sprintf "%.2f" r.E.sl_strict;
+          pct os;
+          Printf.sprintf "%.2f" r.E.sl_selective;
+          pct osel;
+          Printf.sprintf "%.4g / %.4g / %.4g" pb ps psel;
+        ])
+    paper;
+  Table.print t;
+  Printf.printf "Ave (1KB):  strict %s, selective %s   (paper: 20.56%%, 16.4%%)\n"
+    (pct (Stats.mean !small_strict))
+    (pct (Stats.mean !small_sel));
+  Printf.printf "Ave (1MB):  strict %s, selective %s   (paper: 1.57%%, 1.31%%)\n"
+    (pct (Stats.mean !large_strict))
+    (pct (Stats.mean !large_sel))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: scalability 2..8 variants *)
+
+let fig5 () =
+  section "Figure 5: scalability, 2-8 variants on the 12-core machine";
+  let benches = [ "perlbench"; "bzip2"; "gcc"; "sjeng" ] in
+  let t =
+    Table.create
+      ((("n", Table.Left) :: List.map (fun b -> (b, Table.Right)) benches)
+      @ [ ("average", Table.Right) ])
+  in
+  let per_bench = List.map (fun b -> (b, E.scalability (Spec.find b))) benches in
+  let ns = [ 2; 3; 4; 5; 6; 7; 8 ] in
+  List.iter
+    (fun n ->
+      let row = List.map (fun (_, series) -> List.assoc n series) per_bench in
+      Table.add_row t ((string_of_int n :: List.map pct row) @ [ pct (Stats.mean row) ]))
+    ns;
+  Table.print t;
+  Printf.printf "paper: 0.9%% at n=2 rising to 21%% at n=8 (LLC pressure)\n"
+
+(* ------------------------------------------------------------------ *)
+(* 5.3: syscall distance (attack window) *)
+
+let window () =
+  section "Syscall gap in selective mode (attack window, 5.3)";
+  let cpu = [ "bzip2"; "mcf"; "hmmer"; "sjeng"; "milc" ] in
+  let cpu_gaps = List.map (fun b -> E.syscall_gap (Spec.find b)) cpu in
+  List.iter2 (fun b g -> Printf.printf "  %-12s gap %.1f\n" b g) cpu cpu_gaps;
+  let server_gap kind =
+    let requests = 150 in
+    let bench = Server.make kind ~file_kb:1 ~connections:64 ~requests in
+    let base = Program.baseline bench.Bench.prog in
+    let r = E.nxe_run ~config:Nxe.selective ~seed:E.ref_seed [ base; base ] in
+    r.Nxe.avg_syscall_gap
+  in
+  let lg = server_gap Server.Lighttpd and ng = server_gap Server.Nginx in
+  Printf.printf "  %-12s gap %.1f\n" "lighttpd" lg;
+  Printf.printf "  %-12s gap %.1f\n" "nginx" ng;
+  Printf.printf "CPU-intensive avg %.1f (paper ~5);  IO-intensive avg %.1f (paper ~1)\n"
+    (Stats.mean cpu_gaps) (Stats.mean [ lg; ng ]);
+  (* "Attacking Bunshin": how much of a malicious payload a compromised
+     leader completes before the monitor aborts. *)
+  Printf.printf "\nattack-window exploitation (compromised leader, 16-syscall payload):\n";
+  List.iter
+    (fun w ->
+      Printf.printf "  %-9s %-6s payload: %2d executed, detected: %b\n" w.Window.wr_mode
+        (match w.Window.wr_payload with Window.Reads -> "read" | Window.Writes -> "write")
+        w.Window.wr_executed w.Window.wr_detected)
+    (Window.summary ())
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: RIPE *)
+
+let table3 () =
+  section "Table 3: RIPE benchmark outcomes";
+  let t =
+    Table.create
+      [
+        ("Config", Table.Left); ("Succeed", Table.Right); ("Probabilistic", Table.Right);
+        ("Failed", Table.Right); ("Not possible", Table.Right);
+      ]
+  in
+  let row name env =
+    let s, p, f, n = Ripe.table env in
+    Table.add_row t
+      [ name; string_of_int s; string_of_int p; string_of_int f; string_of_int n ]
+  in
+  row "Default" Ripe.Vanilla;
+  row "ASan" Ripe.With_asan;
+  row "Bunshin" (Ripe.With_bunshin 2);
+  Table.print t;
+  Printf.printf "paper: 114/16/720/2990 -> 8/0/842/2990 -> 8/0/842/2990\n";
+  Printf.printf "surviving attacks identical under ASan and Bunshin: %b\n"
+    (Ripe.surviving_ids Ripe.With_asan = Ripe.surviving_ids (Ripe.With_bunshin 2));
+  (* Micro-RIPE: the structural core of the matrix as real IR programs. *)
+  Printf.printf "\nmicro-RIPE (executable attack programs through the real pipeline):\n";
+  let t =
+    Table.create
+      [
+        ("combination", Table.Left); ("vanilla", Table.Left); ("ASan", Table.Left);
+        ("Bunshin", Table.Left); ("cookie", Table.Left); ("CFI", Table.Left);
+      ]
+  in
+  List.iter
+    (fun c ->
+      let o = Ripe_ir.evaluate c in
+      let s b = if b then "yes" else "-" in
+      Table.add_row t
+        [
+          Format.asprintf "%a" Ripe_ir.pp_combo c;
+          s o.Ripe_ir.ro_vanilla_succeeds;
+          s o.Ripe_ir.ro_asan_detects;
+          s o.Ripe_ir.ro_bunshin_detects;
+          s o.Ripe_ir.ro_cookie_detects;
+          s o.Ripe_ir.ro_cfi_detects;
+        ])
+    Ripe_ir.combos;
+  Table.print t;
+  Printf.printf
+    "the struct-func-ptr rows are the intra-object survivors behind the 8 in the big matrix\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: real-world CVEs *)
+
+let table4 () =
+  section "Table 4: real-world programs and CVEs under 2-variant Bunshin";
+  let t =
+    Table.create
+      [
+        ("Program", Table.Left); ("CVE", Table.Left); ("Exploit", Table.Left);
+        ("Sanitizer", Table.Left); ("Detect", Table.Left); ("benign clean", Table.Left);
+      ]
+  in
+  List.iter
+    (fun case ->
+      let v = Cve.evaluate case in
+      Table.add_row t
+        [
+          case.Cve.c_program;
+          case.Cve.c_cve;
+          case.Cve.c_exploit;
+          case.Cve.c_sanitizer;
+          (if v.Cve.v_bunshin_detects then "Yes" else "NO");
+          (if v.Cve.v_benign_clean then "yes" else "NO");
+        ])
+    Cve.cases;
+  Table.print t;
+  Printf.printf "paper: all five detected\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: check distribution on ASan *)
+
+let distribution_table title results ~paper_full ~paper_n =
+  let t =
+    Table.create
+      [
+        ("benchmark", Table.Left); ("full", Table.Right); ("v1", Table.Right);
+        ("v2", Table.Right); ("v3", Table.Right); ("bunshin", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      let v i = List.nth_opt r.E.cd_variant_overheads i in
+      Table.add_row t
+        [
+          r.E.cd_bench; pct r.E.cd_full_overhead; pct_opt (v 0); pct_opt (v 1);
+          pct_opt (v 2); pct r.E.cd_bunshin_overhead;
+        ])
+    results;
+  Table.add_sep t;
+  let avg f = Stats.mean (List.map f results) in
+  Table.add_row t
+    [
+      "average"; pct (avg (fun r -> r.E.cd_full_overhead)); "-"; "-"; "-";
+      pct (avg (fun r -> r.E.cd_bunshin_overhead));
+    ];
+  Table.add_row t [ "paper avg"; paper_full; "-"; "-"; "-"; paper_n ];
+  Printf.printf "%s\n" title;
+  Table.print t
+
+let fig6 () =
+  section "Figure 6: check distribution on ASan (3 variants)";
+  let outliers = [ "hmmer"; "lbm" ] in
+  let normal = List.filter (fun b -> not (List.mem b.Bench.name outliers)) Spec.all in
+  let results = List.map (fun b -> E.check_distribution ~n:3 b) normal in
+  distribution_table "regular benchmarks:" results ~paper_full:"107%" ~paper_n:"47.1%";
+  let out_results = List.map (fun n -> E.check_distribution ~n:3 (Spec.find n)) outliers in
+  distribution_table "outliers (single hot function, no distribution):" out_results
+    ~paper_full:"(high)" ~paper_n:"(~= full)";
+  let two = List.map (fun b -> E.check_distribution ~n:2 b) normal in
+  Printf.printf "2-variant average: full %s -> bunshin %s   (paper: 107%% -> 65.6%%)\n"
+    (pct (Stats.mean (List.map (fun r -> r.E.cd_full_overhead) two)))
+    (pct (Stats.mean (List.map (fun r -> r.E.cd_bunshin_overhead) two)))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: sanitizer distribution on UBSan *)
+
+let fig7 () =
+  section "Figure 7: sanitizer distribution on UBSan's 19 subs (3 variants)";
+  let results = List.map (fun b -> E.ubsan_distribution ~n:3 b) Spec.all in
+  distribution_table "all benchmarks:" results ~paper_full:"228%" ~paper_n:"94.5%";
+  let two = List.map (fun b -> E.ubsan_distribution ~n:2 b) Spec.all in
+  Printf.printf "2-variant average: full %s -> bunshin %s   (paper: 228%% -> 129%%)\n"
+    (pct (Stats.mean (List.map (fun r -> r.E.cd_full_overhead) two)))
+    (pct (Stats.mean (List.map (fun r -> r.E.cd_bunshin_overhead) two)))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: unifying ASan + MSan + UBSan *)
+
+let fig8 () =
+  section "Figure 8: unifying ASan, MSan and UBSan under the NXE";
+  let t =
+    Table.create
+      [
+        ("benchmark", Table.Left); ("ASan", Table.Right); ("MSan", Table.Right);
+        ("UBSan", Table.Right); ("bunshin", Table.Right); ("extra over max", Table.Right);
+      ]
+  in
+  let results = List.filter_map E.unify_sanitizers Spec.all in
+  List.iter
+    (fun u ->
+      Table.add_row t
+        [
+          u.E.un_bench; pct u.E.un_asan; pct u.E.un_msan; pct u.E.un_ubsan;
+          pct u.E.un_bunshin; pct u.E.un_extra_over_max;
+        ])
+    results;
+  Table.add_sep t;
+  Table.add_row t
+    [
+      "average";
+      pct (Stats.mean (List.map (fun u -> u.E.un_asan) results));
+      pct (Stats.mean (List.map (fun u -> u.E.un_msan) results));
+      pct (Stats.mean (List.map (fun u -> u.E.un_ubsan) results));
+      pct (Stats.mean (List.map (fun u -> u.E.un_bunshin) results));
+      pct (Stats.mean (List.map (fun u -> u.E.un_extra_over_max) results));
+    ];
+  Table.add_row t [ "paper avg"; "-"; "-"; "-"; "278%"; "4.99%" ];
+  Table.print t;
+  Printf.printf "gcc excluded: cannot run under MSan (as in the paper)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: background load *)
+
+let fig9 () =
+  section "Figure 9: 2-variant NXE under background load (stress-ng model)";
+  let benches = [ "bzip2"; "mcf"; "milc"; "astar"; "omnetpp"; "gcc" ] in
+  let levels = [ 0.02; 0.5; 0.99 ] in
+  let t =
+    Table.create
+      (("benchmark", Table.Left)
+      :: List.map (fun l -> (Printf.sprintf "%.0f%% load" (l *. 100.), Table.Right)) levels)
+  in
+  let all =
+    List.map
+      (fun name ->
+        let series = E.load_sensitivity ~levels (Spec.find name) in
+        Table.add_row t (name :: List.map (fun (_, oh) -> pct oh) series);
+        series)
+      benches
+  in
+  Table.add_sep t;
+  let avg_at l = Stats.mean (List.map (fun series -> List.assoc l series) all) in
+  Table.add_row t ("average" :: List.map (fun l -> pct (avg_at l)) levels);
+  Table.add_row t ("paper avg" :: [ "8.1%"; "10.23%"; "13.46%" ]);
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* 5.7: single core *)
+
+let single_core () =
+  section "Single-core synchronization overhead (5.7)";
+  let benches = [ "bzip2"; "sjeng"; "milc" ] in
+  let ohs = List.map (fun b -> E.single_core_overhead (Spec.find b)) benches in
+  List.iter2 (fun b oh -> Printf.printf "  %-8s %s\n" b (pct oh)) benches ohs;
+  Printf.printf "average %s   (paper: 103.1%%)\n" (pct (Stats.mean ohs))
+
+(* ------------------------------------------------------------------ *)
+(* §5.7: memory consumption *)
+
+let memory () =
+  section "Memory consumption (5.7): what distribution can and cannot split";
+  let prog = (Spec.find "bzip2").Bench.prog in
+  let ram b = Program.build_ram_overhead b in
+  (* Check distribution on ASan: every variant keeps the whole shadow. *)
+  Printf.printf "ASan check distribution (shadow is per-variant):\n";
+  List.iter
+    (fun n ->
+      let funcs = List.map (fun f -> f.Program.fn_name) prog.Program.funcs in
+      let per = (List.length funcs + n - 1) / n in
+      let variants =
+        List.init n (fun i ->
+            let checked = List.filteri (fun j _ -> j / per = i) funcs in
+            Program.variant [ Sanitizer.asan ] ~checked prog)
+      in
+      let per_variant = List.map ram variants in
+      Printf.printf "  N=%d: per-variant RAM +%s each; fleet total ~%.1fx baseline\n" n
+        (pct (Stats.mean per_variant))
+        (List.fold_left (fun acc r -> acc +. 1.0 +. r) 0.0 per_variant))
+    [ 1; 2; 3 ];
+  (* Sanitizer distribution on UBSan: each variant links only its group. *)
+  Printf.printf "\nUBSan sanitizer distribution (memory splits with the subs):\n";
+  let full = ram (Program.full Sanitizer.ubsan_subs prog) in
+  Printf.printf "  all 19 subs in one build: +%s\n" (pct full);
+  List.iter
+    (fun n ->
+      match Variant.sanitizer_distribution ~n
+              ~units:(List.map (fun s -> ([ s ], Sanitizer.group_cost [ s ] Cost_model.typical_profile))
+                        Sanitizer.ubsan_subs)
+              prog
+      with
+      | Error e -> Printf.printf "  N=%d: %s\n" n e
+      | Ok plan ->
+        let rams = List.map ram (Variant.builds plan) in
+        Printf.printf "  N=%d: per-variant RAM +%s (max), +%s (mean)\n" n
+          (pct (Stats.maximum rams)) (pct (Stats.mean rams)))
+    [ 2; 3 ];
+  Printf.printf "paper: base memory ~linear in N; ASan's shadow applies per variant;\n";
+  Printf.printf "       sanitizer distribution also distributes memory overhead\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices DESIGN.md calls out *)
+
+let ablations () =
+  section "Ablation: partition algorithm (3-way split of gcc's overhead profile)";
+  let bench = Spec.find "gcc" in
+  let prog = bench.Bench.prog in
+  let base = Profile.measure (Program.baseline prog) ~seed:E.train_seed in
+  let inst = Profile.measure (Program.full [ Sanitizer.asan ] prog) ~seed:E.train_seed in
+  let profile = Profile.overhead_by_func ~baseline:base ~instrumented:inst in
+  let items =
+    List.filter_map
+      (fun (f, w) -> if w > 0.0 then Some { Partition.label = f; weight = w } else None)
+      profile
+  in
+  let t =
+    Table.create
+      [ ("algorithm", Table.Left); ("makespan", Table.Right); ("imbalance", Table.Right) ]
+  in
+  List.iter
+    (fun (name, algo) ->
+      let r = algo 3 items in
+      Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.0f" (Partition.makespan r);
+          Printf.sprintf "%.0f" (Partition.imbalance r);
+        ])
+    [
+      ("round-robin", Partition.round_robin);
+      ("greedy LPT", Partition.lpt);
+      ("Karmarkar-Karp", Partition.karmarkar_karp);
+      ("best (KK+polish)", Partition.best);
+    ];
+  Table.print t;
+
+  section "Ablation: ring-buffer capacity (selective mode, 2 variants, bzip2)";
+  let build = Program.baseline (Spec.find "bzip2").Bench.prog in
+  let t =
+    Table.create [ ("capacity", Table.Right); ("time", Table.Right); ("max gap", Table.Right) ]
+  in
+  List.iter
+    (fun cap ->
+      let r =
+        E.nxe_run
+          ~config:{ Nxe.selective with Nxe.ring_capacity = cap }
+          ~seed:E.ref_seed [ build; build ]
+      in
+      Table.add_row t
+        [
+          string_of_int cap; Printf.sprintf "%.0f" r.Nxe.total_time;
+          string_of_int r.Nxe.max_syscall_gap;
+        ])
+    [ 1; 4; 16; 64; 256 ];
+  Table.print t;
+
+  section "Ablation: weak determinism on/off (barnes, 3 variants)";
+  let mt = Multithreaded.find "barnes" in
+  let b = Program.baseline mt.Bench.prog in
+  let time wd =
+    (E.nxe_run
+       ~config:{ Nxe.default_config with Nxe.weak_determinism = wd }
+       ~seed:E.ref_seed [ b; b; b ])
+      .Nxe.total_time
+  in
+  let on = time true and off = time false in
+  Printf.printf
+    "  on  %.0f us\n  off %.0f us\n  ordering cost %s (paper: ~8.5%% extra on MT suites)\n" on
+    off
+    (pct ((on -. off) /. off));
+
+  section "Ablation: lockstep mode vs attack window (mcf)";
+  let gap_of config =
+    let mcf = Program.baseline (Spec.find "mcf").Bench.prog in
+    let r = E.nxe_run ~config ~seed:E.ref_seed [ mcf; mcf ] in
+    (r.Nxe.total_time, r.Nxe.avg_syscall_gap)
+  in
+  let ts, gs = gap_of Nxe.default_config in
+  let tsel, gsel = gap_of Nxe.selective in
+  Printf.printf "  strict:    time %.0f, avg gap %.2f\n" ts gs;
+  Printf.printf "  selective: time %.0f, avg gap %.2f (faster, wider window)\n" tsel gsel
+
+(* ------------------------------------------------------------------ *)
+(* §2.3: ASAP (selective protection) vs Bunshin (distribution) *)
+
+let asap () =
+  section "ASAP vs Bunshin (2.3): same budget, opposite security";
+  let t =
+    Table.create
+      [
+        ("benchmark", Table.Left); ("budget", Table.Right); ("ASAP oh", Table.Right);
+        ("ASAP coverage", Table.Right); ("Bunshin oh (2v)", Table.Right);
+        ("Bunshin coverage", Table.Right);
+      ]
+  in
+  List.iter
+    (fun name ->
+      let r = E.asap_comparison ~budget:0.5 (Spec.find name) in
+      Table.add_row t
+        [
+          r.E.ac_bench; pct r.E.ac_budget; pct r.E.ac_asap_overhead; pct r.E.ac_asap_coverage;
+          pct r.E.ac_bunshin_overhead; pct r.E.ac_bunshin_coverage;
+        ])
+    [ "bzip2"; "gcc"; "mcf"; "hmmer" ];
+  Table.print t;
+  (* The security half of the argument, on the real pipeline: ASAP's cost
+     ranking prunes the hot parser checks that guard CVE-2013-2028. *)
+  let case = List.hd Cve.cases in
+  let inst = Instrument.apply_exn [ Sanitizer.asan ] case.Cve.c_modul in
+  (* In nginx the chunked parser is hot: ASAP (cheapest-first) drops it. *)
+  let profile = [ (case.Cve.c_vuln_func, 100.0); ("ngx_http_process_request", 5.0); ("main", 1.0) ] in
+  let kept = Bunshin_variant.Asap.keep_set ~budget:0.5 ~overhead_profile:profile in
+  let pruned =
+    Slicer.remove_checks
+      ~in_funcs:(List.filter (fun f -> not (List.mem f kept)) (List.map fst profile))
+      inst
+  in
+  let asap_run = Interp.run pruned ~entry:"main" ~args:case.Cve.c_exploit_args in
+  let v = Cve.evaluate case in
+  Printf.printf "CVE-2013-2028 under a 50%% budget:\n";
+  Printf.printf "  ASAP keeps checks in: [%s]\n" (String.concat "; " kept);
+  Printf.printf "  ASAP detects the exploit:    %b\n"
+    (match asap_run.Interp.outcome with Interp.Detected _ -> true | _ -> false);
+  Printf.printf "  Bunshin detects the exploit: %b\n" v.Cve.v_bunshin_detects
+
+(* ------------------------------------------------------------------ *)
+(* §5.1: NXE robustness sweep *)
+
+let robustness () =
+  section "NXE robustness (5.1): 3 identical variants, strict lockstep";
+  let results = E.robustness () in
+  let ok = List.filter snd results and bad = List.filter (fun (_, b) -> not b) results in
+  Printf.printf "%d/%d benchmarks run with no false alert\n" (List.length ok)
+    (List.length results);
+  List.iter (fun (n, _) -> Printf.printf "  FALSE ALERT: %s\n" n) bad;
+  Printf.printf "paper: no false positives on SPEC, SPLASH-2x, nginx, lighttpd\n";
+  Printf.printf "\nand the 5.1 exclusions, demonstrated (racy members fail under the engine):\n";
+  List.iter
+    (fun (n, problem) ->
+      Printf.printf "  %-13s %s\n" n
+        (if problem then "false alert / wedged, as expected" else "UNEXPECTEDLY CLEAN"))
+    (E.unsupported_demo ())
+
+(* ------------------------------------------------------------------ *)
+(* §6: basic-block-granularity ablation (the hmmer/lbm fix) *)
+
+let bb_granularity () =
+  section "Ablation (6): function- vs basic-block-level check distribution";
+  let t =
+    Table.create
+      [
+        ("benchmark", Table.Left); ("full ASan", Table.Right);
+        ("func-level (3v)", Table.Right); ("block-level k=8 (3v)", Table.Right);
+      ]
+  in
+  List.iter
+    (fun name ->
+      let bench = Spec.find name in
+      let f = E.check_distribution ~n:3 bench in
+      let b = E.check_distribution ~n:3 ~block_split:8 bench in
+      Table.add_row t
+        [
+          name; pct f.E.cd_full_overhead; pct f.E.cd_bunshin_overhead;
+          pct b.E.cd_bunshin_overhead;
+        ])
+    [ "hmmer"; "lbm"; "bzip2" ];
+  Table.print t;
+  Printf.printf
+    "the single-hot-function outliers distribute once the unit is finer than a function\n"
+
+(* ------------------------------------------------------------------ *)
+(* Layout diversification (2.2's disjoint-layout NVX defense) *)
+
+let nvariant () =
+  section "Layout diversification: write-what-where vs disjoint layouts";
+  let v = Nvariant.evaluate () in
+  Printf.printf "exploit crafted against variant A's layout:\n";
+  Printf.printf "  hijacks variant A:            %b\n" v.Nvariant.nv_hijacked_a;
+  Printf.printf "  hijacks variant B:            %b\n" v.Nvariant.nv_hijacked_b;
+  Printf.printf "  behaviour diverges:           %b\n" v.Nvariant.nv_diverged;
+  Printf.printf "  monitor detects:              %b\n" v.Nvariant.nv_detected;
+  Printf.printf "  benign input runs clean:      %b\n" v.Nvariant.nv_benign_clean;
+  Printf.printf "control (both variants share one layout): attack escapes = %b\n"
+    (Nvariant.single_layout_escapes ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the heavy kernels of the stack *)
+
+let bechamel_section () =
+  section "Bechamel micro-benchmarks (one Test.make per reproduced artifact)";
+  let open Bechamel in
+  let items =
+    List.init 64 (fun i ->
+        { Partition.label = string_of_int i; weight = float_of_int (1 + (i * 7 mod 23)) })
+  in
+  let small_build = Program.baseline (Spec.find "bzip2").Bench.prog in
+  let tests =
+    [
+      Test.make ~name:"table3_ripe_classify"
+        (Staged.stage (fun () -> ignore (Ripe.table Ripe.With_asan)));
+      Test.make ~name:"table4_cve_nginx"
+        (Staged.stage (fun () -> ignore (Cve.evaluate (List.hd Cve.cases))));
+      Test.make ~name:"fig6_partition_kk"
+        (Staged.stage (fun () -> ignore (Partition.karmarkar_karp 3 items)));
+      Test.make ~name:"fig6_partition_best"
+        (Staged.stage (fun () -> ignore (Partition.best 3 items)));
+      Test.make ~name:"fig3_nxe_3variants"
+        (Staged.stage (fun () ->
+             ignore (E.nxe_run ~seed:E.ref_seed [ small_build; small_build; small_build ])));
+      Test.make ~name:"profiler_measure"
+        (Staged.stage (fun () -> ignore (Profile.measure small_build ~seed:E.ref_seed)));
+    ]
+  in
+  let benchmark test =
+    let quota = Time.second 0.25 in
+    let cfg = Benchmark.cfg ~limit:200 ~quota ~kde:(Some 10) () in
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        Toolkit.Instance.monotonic_clock raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "  %-24s %12.0f ns/run\n" name est
+        | _ -> Printf.printf "  %-24s (no estimate)\n" name)
+      results
+  in
+  List.iter benchmark tests
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("table2", table2);
+    ("fig5", fig5);
+    ("window", window);
+    ("table3", table3);
+    ("table4", table4);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("single_core", single_core);
+    ("asap", asap);
+    ("memory", memory);
+    ("robustness", robustness);
+    ("bb_granularity", bb_granularity);
+    ("nvariant", nvariant);
+    ("ablations", ablations);
+    ("bechamel", bechamel_section);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "list" ] -> List.iter (fun (n, _) -> print_endline n) sections
+  | [] ->
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, f) -> f ()) sections;
+    Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  | names ->
+    List.iter
+      (fun n ->
+        match List.assoc_opt n sections with
+        | Some f -> f ()
+        | None -> Printf.eprintf "unknown section %s (try 'list')\n" n)
+      names

@@ -1,0 +1,374 @@
+(* The bunshin command-line driver: profile a benchmark, generate a variant
+   plan, run variants under the NXE, and replay the attack suites.
+
+     bunshin list
+     bunshin profile bzip2 --sanitizer asan
+     bunshin generate bzip2 -n 3 --mode check
+     bunshin run bzip2 -n 3 --mode ubsan --lockstep selective
+     bunshin ripe
+     bunshin cve *)
+
+open Bunshin
+open Cmdliner
+
+let all_benches () = Spec.all @ Multithreaded.splash @ Multithreaded.parsec
+
+let find_bench name =
+  match List.find_opt (fun b -> b.Bench.name = name) (all_benches ()) with
+  | Some b -> Ok b
+  | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S (try `bunshin list')" name))
+
+let bench_arg =
+  let bconv =
+    Arg.conv ((fun s -> find_bench s), fun fmt b -> Format.fprintf fmt "%s" b.Bench.name)
+  in
+  Arg.(required & pos 0 (some bconv) None & info [] ~docv:"BENCH" ~doc:"Benchmark name.")
+
+let n_arg =
+  Arg.(value & opt int 3 & info [ "n"; "variants" ] ~docv:"N" ~doc:"Number of variants.")
+
+let block_split_arg =
+  Arg.(value & opt int 1
+       & info [ "block-split" ] ~docv:"K"
+           ~doc:"Check-distribution granularity: 1 = whole functions; K > 1 splits each                  function into K block groups (the finer-grained mode of the paper's 6).")
+
+let save_arg =
+  Arg.(value & opt (some string) None
+       & info [ "save" ] ~docv:"FILE" ~doc:"Write the overhead profile to FILE.")
+
+let load_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile" ] ~docv:"FILE"
+           ~doc:"Reuse a saved instrumented-run profile instead of re-profiling.")
+
+let sanitizer_arg =
+  let parse = function
+    | "asan" -> Ok Sanitizer.asan
+    | "msan" -> Ok Sanitizer.msan
+    | "softbound" -> Ok Sanitizer.softbound
+    | "cets" -> Ok Sanitizer.cets
+    | "cpi" -> Ok Sanitizer.cpi
+    | s -> (
+      match Sanitizer.find_ubsan_sub s with
+      | Some sub -> Ok sub
+      | None -> Error (`Msg ("unknown sanitizer " ^ s)))
+  in
+  let sconv = Arg.conv (parse, fun fmt s -> Format.fprintf fmt "%s" (Sanitizer.name s)) in
+  Arg.(value & opt sconv Sanitizer.asan
+       & info [ "sanitizer" ] ~docv:"SAN" ~doc:"Sanitizer for check distribution.")
+
+type mode = Check | Ubsan | Unify
+
+let mode_arg =
+  let mconv =
+    Arg.conv
+      ( (function
+         | "check" -> Ok Check
+         | "ubsan" -> Ok Ubsan
+         | "unify" -> Ok Unify
+         | s -> Error (`Msg ("unknown mode " ^ s))),
+        fun fmt m ->
+          Format.fprintf fmt "%s"
+            (match m with Check -> "check" | Ubsan -> "ubsan" | Unify -> "unify") )
+  in
+  Arg.(value & opt mconv Check
+       & info [ "mode" ]
+           ~doc:"Distribution mode: check (one sanitizer's checks over N variants), ubsan \
+                 (19 sub-sanitizers over N), unify (ASan+MSan+UBSan).")
+
+let lockstep_arg =
+  let lconv =
+    Arg.conv
+      ( (function
+         | "strict" -> Ok Nxe.default_config
+         | "selective" -> Ok Nxe.selective
+         | s -> Error (`Msg ("unknown lockstep mode " ^ s))),
+        fun fmt c ->
+          Format.fprintf fmt "%s"
+            (match c.Nxe.mode with
+             | Nxe.Strict_lockstep -> "strict"
+             | Nxe.Selective_lockstep -> "selective") )
+  in
+  Arg.(value & opt lconv Nxe.default_config
+       & info [ "lockstep" ] ~doc:"Lockstep mode: strict or selective.")
+
+(* ------------------------------------------------------------------ *)
+
+let plan_of ?(block_split = 1) ?profile_file ~mode ~n ~sanitizer bench =
+  let prog = bench.Bench.prog in
+  match mode with
+  | Check ->
+    let base = Profile.measure (Program.baseline prog) ~seed:Experiments.train_seed in
+    let inst =
+      match profile_file with
+      | Some file -> (
+        match Profile.of_string (In_channel.with_open_text file In_channel.input_all) with
+        | Ok p -> p
+        | Error e -> failwith e)
+      | None -> Profile.measure (Program.full [ sanitizer ] prog) ~seed:Experiments.train_seed
+    in
+    let oh = Profile.overhead_by_func ~baseline:base ~instrumented:inst in
+    Ok (Variant.check_distribution ~n ~block_split ~sanitizer ~overhead_profile:oh prog)
+  | Ubsan ->
+    let units =
+      List.map
+        (fun s -> ([ s ], Sanitizer.group_cost [ s ] Cost_model.typical_profile))
+        Sanitizer.ubsan_subs
+    in
+    Variant.sanitizer_distribution ~n ~units prog
+    |> Result.map_error (fun e -> `Msg e)
+    |> Result.map Fun.id
+    |> fun r -> (match r with Ok p -> Ok p | Error (`Msg e) -> Error (`Msg e))
+  | Unify ->
+    Variant.unify ~n [ [ Sanitizer.asan ]; [ Sanitizer.msan ]; Sanitizer.ubsan_subs ] prog
+    |> Result.map_error (fun e -> `Msg e)
+
+(* ------------------------------------------------------------------ *)
+(* Commands *)
+
+let list_cmd =
+  let run () =
+    let t = Table.create [ ("benchmark", Table.Left); ("suite", Table.Left);
+                           ("threads", Table.Right); ("nxe", Table.Left) ] in
+    List.iter
+      (fun b ->
+        Table.add_row t
+          [
+            b.Bench.name;
+            Bench.suite_name b.Bench.suite;
+            string_of_int b.Bench.threads;
+            (match b.Bench.unsupported_reason with
+             | None -> "supported"
+             | Some r -> "unsupported: " ^ r);
+          ])
+      (all_benches ());
+    Table.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List modelled benchmarks.") Term.(const run $ const ())
+
+let profile_cmd =
+  let run bench sanitizer save =
+    let prog = bench.Bench.prog in
+    let base = Profile.measure (Program.baseline prog) ~seed:Experiments.train_seed in
+    let inst = Profile.measure (Program.full [ sanitizer ] prog) ~seed:Experiments.train_seed in
+    (match save with
+     | Some file ->
+       Out_channel.with_open_text file (fun oc ->
+           Out_channel.output_string oc (Profile.to_string inst));
+       Printf.printf "profile written to %s\n" file
+     | None -> ());
+    Printf.printf "%s under %s: total %.0f -> %.0f us (%s)\n\n" prog.Program.name
+      (Sanitizer.name sanitizer) base.Profile.total_time inst.Profile.total_time
+      (Stats.pct (Profile.total_overhead ~baseline:base ~instrumented:inst));
+    let oh = Profile.overhead_by_func ~baseline:base ~instrumented:inst in
+    let top = List.sort (fun (_, a) (_, b) -> compare b a) oh in
+    Printf.printf "top check overheads (us on the train workload):\n";
+    List.iteri
+      (fun i (f, v) -> if i < 10 && v > 0.0 then Printf.printf "  %-20s %10.0f\n" f v)
+      top
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Profile a benchmark under a sanitizer (Figure 1, steps 1-2).")
+    Term.(const run $ bench_arg $ sanitizer_arg $ save_arg)
+
+let generate_cmd =
+  let run bench n mode sanitizer block_split profile_file =
+    match plan_of ~block_split ?profile_file ~mode ~n ~sanitizer bench with
+    | Error (`Msg e) ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+    | Ok plan ->
+      Format.printf "%a" Variant.pp_plan plan;
+      Printf.printf "coverage complete: %b\n" (Variant.coverage_complete plan)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a variant plan (Figure 1, steps 3-4).")
+    Term.(const run $ bench_arg $ n_arg $ mode_arg $ sanitizer_arg $ block_split_arg $ load_arg)
+
+let run_cmd =
+  let run bench n mode sanitizer block_split config =
+    match plan_of ~block_split ~mode ~n ~sanitizer bench with
+    | Error (`Msg e) ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+    | Ok plan ->
+      let builds = Variant.builds plan in
+      let solo =
+        Experiments.solo_time (Program.baseline bench.Bench.prog) ~seed:Experiments.ref_seed
+      in
+      let r = Experiments.nxe_run ~config ~seed:Experiments.ref_seed builds in
+      Printf.printf "baseline  %10.0f us\n" solo;
+      Printf.printf "bunshin   %10.0f us  (%s overhead)\n" r.Nxe.total_time
+        (Stats.pct (Stats.overhead ~baseline:solo ~measured:r.Nxe.total_time));
+      Printf.printf "synced %d syscalls (%d locksteped), avg gap %.1f, order list %d\n"
+        r.Nxe.synced_syscalls r.Nxe.lockstep_syscalls r.Nxe.avg_syscall_gap
+        r.Nxe.order_list_length;
+      (match r.Nxe.outcome with
+       | `All_finished -> Printf.printf "outcome: all variants finished, no divergence\n"
+       | `Aborted a ->
+         Printf.printf "outcome: ABORT — variant %d diverged at %s (expected %s)\n"
+           a.Nxe.al_variant a.Nxe.al_got a.Nxe.al_expected)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Generate variants and run them under the NXE.")
+    Term.(const run $ bench_arg $ n_arg $ mode_arg $ sanitizer_arg $ block_split_arg $ lockstep_arg)
+
+let ripe_cmd =
+  let run () =
+    let row name env =
+      let s, p, f, n = Ripe.table env in
+      Printf.printf "%-8s %5d %5d %5d %5d\n" name s p f n
+    in
+    Printf.printf "%-8s %5s %5s %5s %5s\n" "config" "succ" "prob" "fail" "n/a";
+    row "default" Ripe.Vanilla;
+    row "asan" Ripe.With_asan;
+    row "bunshin" (Ripe.With_bunshin 2)
+  in
+  Cmd.v (Cmd.info "ripe" ~doc:"Replay the RIPE attack matrix (Table 3).")
+    Term.(const run $ const ())
+
+let cve_cmd =
+  let run () =
+    List.iter
+      (fun case ->
+        let v = Cve.evaluate case in
+        Printf.printf "%-16s CVE-%-10s %-16s %-6s detect=%b benign-clean=%b\n"
+          case.Cve.c_program case.Cve.c_cve case.Cve.c_exploit case.Cve.c_sanitizer
+          v.Cve.v_bunshin_detects v.Cve.v_benign_clean)
+      Cve.cases
+  in
+  Cmd.v (Cmd.info "cve" ~doc:"Replay the five CVE case studies (Table 4).")
+    Term.(const run $ const ())
+
+let exec_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A .bir IR file.")
+  in
+  let args_arg =
+    Arg.(value & opt (list int) [] & info [ "args" ] ~docv:"ARGS" ~doc:"main's integer arguments.")
+  in
+  let sans_arg =
+    Arg.(value & opt_all string []
+         & info [ "sanitizer" ] ~docv:"SAN"
+             ~doc:"Instrument with this sanitizer before running (repeatable).")
+  in
+  let run file args sans =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match Ir_parser.parse src with
+    | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 1
+    | Ok m -> (
+      (match Verify.check m with
+       | Ok () -> ()
+       | Error e ->
+         Printf.eprintf "verification failed:\n%s\n" e;
+         exit 1);
+      let resolve = function
+        | "asan" -> Sanitizer.asan
+        | "msan" -> Sanitizer.msan
+        | "softbound" -> Sanitizer.softbound
+        | "cets" -> Sanitizer.cets
+        | "cfi" -> Sanitizer.cfi
+        | "safecode" -> Sanitizer.safecode
+        | "stack-cookie" -> Sanitizer.stack_cookie
+        | s -> (
+          match Sanitizer.find_ubsan_sub s with
+          | Some sub -> sub
+          | None ->
+            Printf.eprintf "unknown sanitizer %s\n" s;
+            exit 1)
+      in
+      let m =
+        if sans = [] then m
+        else
+          match Instrument.apply (List.map resolve sans) m with
+          | Ok m -> m
+          | Error e ->
+            Printf.eprintf "cannot instrument: %s\n" e;
+            exit 1
+      in
+      let r = Interp.run m ~entry:"main" ~args:(List.map Int64.of_int args) in
+      List.iter
+        (function
+          | Interp.Output v -> Printf.printf "print: %Ld\n" v
+          | Interp.Syscall (name, a) ->
+            Printf.printf "syscall: %s(%s)\n" name
+              (String.concat ", " (List.map Int64.to_string a)))
+        r.Interp.events;
+      List.iter
+        (fun h ->
+          Printf.printf "silent hazard: %s\n"
+            (Memory_error.name (Memory_error.of_hazard h)))
+        r.Interp.hazards;
+      match r.Interp.outcome with
+      | Interp.Finished v ->
+        Printf.printf "exit: %s\n" (Option.fold ~none:"void" ~some:Int64.to_string v)
+      | Interp.Detected d ->
+        Printf.printf "DETECTED: %s in %s\n" d.Interp.d_handler d.Interp.d_func;
+        exit 2
+      | Interp.Crashed _ ->
+        Printf.printf "CRASHED\n";
+        exit 3
+      | Interp.Fuel_exhausted ->
+        Printf.printf "fuel exhausted\n";
+        exit 4)
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Parse, verify, optionally instrument, and run a .bir IR file.")
+    Term.(const run $ file_arg $ args_arg $ sans_arg)
+
+let window_cmd =
+  let run () =
+    List.iter
+      (fun w ->
+        Printf.printf "%-9s %-6s payload: %2d malicious syscalls executed, detected: %b\n"
+          w.Window.wr_mode
+          (match w.Window.wr_payload with Window.Reads -> "read" | Window.Writes -> "write")
+          w.Window.wr_executed w.Window.wr_detected)
+      (Window.summary ())
+  in
+  Cmd.v
+    (Cmd.info "window" ~doc:"Measure the attack window a compromised leader gets (5.3).")
+    Term.(const run $ const ())
+
+let nvariant_cmd =
+  let run () =
+    let v = Nvariant.evaluate () in
+    Printf.printf "write-what-where exploit against disjoint layouts:\n";
+    Printf.printf "  hijacks A %b, hijacks B %b, diverges %b, detected %b\n"
+      v.Nvariant.nv_hijacked_a v.Nvariant.nv_hijacked_b v.Nvariant.nv_diverged
+      v.Nvariant.nv_detected;
+    Printf.printf "  single shared layout: attack escapes = %b\n"
+      (Nvariant.single_layout_escapes ())
+  in
+  Cmd.v
+    (Cmd.info "nvariant" ~doc:"Layout-diversification defense demo (disjoint address spaces).")
+    Term.(const run $ const ())
+
+let robustness_cmd =
+  let run () =
+    let results = Experiments.robustness () in
+    List.iter
+      (fun (n, clean) -> Printf.printf "%-16s %s\n" n (if clean then "clean" else "FALSE ALERT"))
+      results;
+    Printf.printf "--\nunsupported (racy) members:\n";
+    List.iter
+      (fun (n, problem) ->
+        Printf.printf "%-16s %s\n" n (if problem then "fails as expected" else "unexpectedly clean"))
+      (Experiments.unsupported_demo ())
+  in
+  Cmd.v
+    (Cmd.info "robustness" ~doc:"The 5.1 robustness sweep: false-positive check on all suites.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "bunshin" ~version:"1.0.0"
+       ~doc:"N-version execution that composites security mechanisms through diversification.")
+    [
+      list_cmd; profile_cmd; generate_cmd; run_cmd; exec_cmd; ripe_cmd; cve_cmd;
+      window_cmd; nvariant_cmd; robustness_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/check_removal.ml: Builder Bunshin Instrument Int64 Interp Ir List Option Printer Printf Sanitizer Simplify Slicer Verify

@@ -1,0 +1,1 @@
+examples/check_removal.mli:

@@ -1,0 +1,1 @@
+examples/diversity_defenses.ml: Asap Bunshin Cve Experiments Instrument Interp List Nvariant Printf Sanitizer Slicer Spec Stats Window

@@ -1,0 +1,1 @@
+examples/diversity_defenses.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bench Bunshin Experiments Format List Nxe Printf Profile Program Sanitizer Spec Stats Variant

@@ -1,0 +1,1 @@
+examples/unify_sanitizers.ml: Bench Builder Bunshin Experiments Format Instrument List Memory_error Nxe Printf Program Sanitizer Spec Stats String Variant

@@ -1,0 +1,1 @@
+examples/unify_sanitizers.mli:

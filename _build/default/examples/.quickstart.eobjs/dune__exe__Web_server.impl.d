@@ -1,0 +1,1 @@
+examples/web_server.ml: Bench Bunshin Cve Experiments Instrument Interp Ir List Nxe Printf Program Sanitizer Server Slicer

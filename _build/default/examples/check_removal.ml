@@ -1,0 +1,101 @@
+(* Check removal walkthrough: the §4.1 compiler pipeline on real IR.
+
+   Builds a small program, instruments it with ASan, shows the inserted
+   check (condition + report sink), removes it by backward slicing, and
+   demonstrates at the interpreter level that:
+     - the instrumented build detects an out-of-bounds write,
+     - the de-instrumented build behaves exactly like the baseline,
+     - metadata-maintenance instructions survive removal.
+
+   Run with: dune exec examples/check_removal.exe *)
+
+open Bunshin
+module B = Builder
+
+let rule title = Printf.printf "\n--- %s ---\n\n" title
+
+(* parse(buf, n) writes a header byte at buf[n-1]; main allocates 8 slots. *)
+let program () =
+  let b = B.create "demo" in
+  B.start_func b ~name:"parse" ~params:[ "buf"; "n" ];
+  let last = B.sub b (Ir.Reg "n") (B.cst 1) in
+  let p = B.gep b (Ir.Reg "buf") last in
+  B.store b (B.cst 0x7f) p;
+  let v = B.load b p in
+  B.ret b (Some v);
+  B.start_func b ~name:"main" ~params:[ "n" ];
+  let buf = B.call b "malloc" [ B.cst 8 ] in
+  let v = B.call b "parse" [ buf; Ir.Reg "n" ] in
+  B.call_void b "print" [ v ];
+  B.ret b (Some v);
+  B.finish b
+
+let outcome_name = function
+  | Interp.Finished _ -> "finished normally"
+  | Interp.Detected d -> "DETECTED by " ^ d.Interp.d_handler
+  | Interp.Crashed _ -> "crashed"
+  | Interp.Fuel_exhausted -> "ran out of fuel"
+
+let run m n =
+  let r = Interp.run m ~entry:"main" ~args:[ Int64.of_int n ] in
+  Printf.printf "  n=%-3d -> %s (events: %d, silent hazards: %d)\n" n
+    (outcome_name r.Interp.outcome)
+    (List.length r.Interp.events)
+    (List.length r.Interp.hazards)
+
+let () =
+  let base = program () in
+  Verify.check_exn base;
+  rule "baseline IR (parse only)";
+  print_string (Printer.string_of_func (Option.get (Ir.find_func base "parse")));
+
+  rule "after ASan instrumentation";
+  let inst = Instrument.apply_exn [ Sanitizer.asan ] base in
+  Verify.check_exn inst;
+  print_string (Printer.string_of_func (Option.get (Ir.find_func inst "parse")));
+  let sinks = Slicer.discover inst in
+  Printf.printf "\ndiscovered %d sink points:\n" (List.length sinks);
+  List.iter
+    (fun s -> Printf.printf "  %s / %s -> %s\n" s.Slicer.sk_func s.Slicer.sk_block s.Slicer.sk_handler)
+    sinks;
+
+  rule "after check removal (backward slicing)";
+  let removed = Slicer.remove_checks inst in
+  Verify.check_exn removed;
+  print_string (Printer.string_of_func (Option.get (Ir.find_func removed "parse")));
+  Printf.printf "\ninstructions removed: %d; sinks left: %d\n"
+    (Slicer.removed_instruction_count inst removed)
+    (List.length (Slicer.discover removed));
+
+  rule "after CFG cleanup (Simplify)";
+  let clean = Simplify.modul removed in
+  Verify.check_exn clean;
+  print_string (Printer.string_of_func (Option.get (Ir.find_func clean "parse")));
+  Printf.printf "\nblock counts: baseline %d, instrumented %d, removed %d, cleaned %d\n"
+    (Simplify.block_count base) (Simplify.block_count inst) (Simplify.block_count removed)
+    (Simplify.block_count clean);
+
+  rule "behaviour: benign input (n=4) and overflow (n=9)";
+  Printf.printf "baseline:\n";
+  run base 4;
+  run base 9;
+  Printf.printf "instrumented:\n";
+  run inst 4;
+  run inst 9;
+  Printf.printf "checks removed:\n";
+  run removed 4;
+  run removed 9;
+
+  rule "check distribution at IR level";
+  (* Variant A keeps parse's checks; variant B keeps main's. Overflow is
+     caught by A only — and its extra report syscall is exactly the
+     divergence the NXE monitor flags (§5.3). *)
+  let variant_a = Slicer.remove_checks ~in_funcs:[ "main" ] inst in
+  let variant_b = Slicer.remove_checks ~in_funcs:[ "parse" ] inst in
+  Printf.printf "variant A (checks in parse):\n";
+  run variant_a 9;
+  Printf.printf "variant B (checks in main):\n";
+  run variant_b 9;
+  let ra = Interp.run variant_a ~entry:"main" ~args:[ 9L ] in
+  let rb = Interp.run variant_b ~entry:"main" ~args:[ 9L ] in
+  Printf.printf "event streams diverge under exploit: %b\n" (not (Interp.events_equal ra rb))

@@ -1,0 +1,53 @@
+(* Quickstart: protect a program with ASan at half the usual slowdown.
+
+   The end-to-end Figure-1 pipeline on one SPEC benchmark:
+     1. profile the baseline and the fully instrumented build,
+     2. derive the per-function overhead profile,
+     3. partition the checks over two variants,
+     4. run both variants under the NXE in strict lockstep.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Bunshin
+
+let () =
+  let bench = Spec.find "bzip2" in
+  let prog = bench.Bench.prog in
+  Printf.printf "Protecting %s with ASan via 2-variant check distribution\n\n" prog.Program.name;
+
+  (* 1-2. Profile on the train workload. *)
+  let baseline = Program.baseline prog in
+  let full = Program.full [ Sanitizer.asan ] prog in
+  let base_profile = Profile.measure baseline ~seed:Experiments.train_seed in
+  let full_profile = Profile.measure full ~seed:Experiments.train_seed in
+  let overhead_profile =
+    Profile.overhead_by_func ~baseline:base_profile ~instrumented:full_profile
+  in
+  let hot =
+    List.sort (fun (_, a) (_, b) -> compare b a) overhead_profile |> fun l ->
+    List.filteri (fun i _ -> i < 3) l
+  in
+  Printf.printf "hottest check overheads (us of extra time on train workload):\n";
+  List.iter (fun (f, oh) -> Printf.printf "  %-16s %8.0f\n" f oh) hot;
+
+  (* 3. Distribute the checks. *)
+  let plan =
+    Variant.check_distribution ~n:2 ~sanitizer:Sanitizer.asan ~overhead_profile prog
+  in
+  Printf.printf "\n%s\n" (Format.asprintf "%a" Variant.pp_plan plan);
+  assert (Variant.coverage_complete plan);
+
+  (* 4. Measure: solo baseline, solo full-ASan, and the NXE. *)
+  let solo = Experiments.solo_time baseline ~seed:Experiments.ref_seed in
+  let full_time = Experiments.solo_time full ~seed:Experiments.ref_seed in
+  let report = Experiments.nxe_run ~seed:Experiments.ref_seed (Variant.builds plan) in
+  let oh t = Stats.pct (Stats.overhead ~baseline:solo ~measured:t) in
+  Printf.printf "baseline:        %8.0f us\n" solo;
+  Printf.printf "full ASan:       %8.0f us  (+%s)\n" full_time (oh full_time);
+  Printf.printf "Bunshin (2 var): %8.0f us  (+%s)\n" report.Nxe.total_time
+    (oh report.Nxe.total_time);
+  Printf.printf "\nsynced syscalls: %d, locksteps: %d, outcome: %s\n" report.Nxe.synced_syscalls
+    report.Nxe.lockstep_syscalls
+    (match report.Nxe.outcome with
+     | `All_finished -> "all variants finished, no divergence"
+     | `Aborted _ -> "aborted (divergence)")

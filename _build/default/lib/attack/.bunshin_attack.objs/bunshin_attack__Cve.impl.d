@@ -1,0 +1,1 @@
+lib/attack/cve.ml: Array Ast Builder Bunshin_ir Bunshin_sanitizer Bunshin_slicer Int64 Interp List Option

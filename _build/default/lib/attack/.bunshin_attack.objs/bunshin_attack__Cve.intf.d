@@ -1,0 +1,1 @@
+lib/attack/cve.mli: Ast Bunshin_ir

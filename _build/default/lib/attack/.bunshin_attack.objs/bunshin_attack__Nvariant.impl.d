@@ -1,0 +1,1 @@
+lib/attack/nvariant.ml: Ast Builder Bunshin_ir Interp List

@@ -1,0 +1,1 @@
+lib/attack/nvariant.mli: Ast Bunshin_ir

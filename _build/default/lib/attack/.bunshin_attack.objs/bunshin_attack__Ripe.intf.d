@@ -1,0 +1,1 @@
+lib/attack/ripe.mli:

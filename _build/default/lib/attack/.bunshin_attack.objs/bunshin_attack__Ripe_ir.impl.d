@@ -1,0 +1,1 @@
+lib/attack/ripe_ir.ml: Array Ast Builder Bunshin_ir Bunshin_sanitizer Bunshin_slicer Format Interp List

@@ -1,0 +1,1 @@
+lib/attack/ripe_ir.mli: Ast Bunshin_ir Format

@@ -1,0 +1,1 @@
+lib/attack/window.ml: Bunshin_nxe Bunshin_program Bunshin_syscall Int64 List

@@ -1,0 +1,1 @@
+lib/attack/window.mli: Bunshin_nxe

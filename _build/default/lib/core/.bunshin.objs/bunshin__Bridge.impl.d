@@ -1,0 +1,1 @@
+lib/core/bridge.ml: Bunshin_ir Bunshin_nxe Bunshin_program Bunshin_syscall List Printf String

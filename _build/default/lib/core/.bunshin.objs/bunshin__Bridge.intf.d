@@ -1,0 +1,1 @@
+lib/core/bridge.mli: Bunshin_ir Bunshin_nxe Bunshin_program

@@ -1,0 +1,43 @@
+module Interp = Bunshin_ir.Interp
+module Trace = Bunshin_program.Trace
+module Sc = Bunshin_syscall.Syscall
+module Nxe = Bunshin_nxe.Nxe
+
+let strip_sys_prefix name =
+  let p = Bunshin_ir.Runtime_api.syscall_prefix in
+  let lp = String.length p in
+  if String.length name > lp && String.sub name 0 lp = p then
+    String.sub name lp (String.length name - lp)
+  else name
+
+let trace_of_run ?(us_per_kinstr = 10.0) (run : Interp.run) =
+  let work steps =
+    if steps <= 0 then []
+    else [ Trace.Work { func = "ir"; cost = float_of_int steps *. us_per_kinstr /. 1000.0 } ]
+  in
+  let rec go prev = function
+    | [] ->
+      (* Tail compute after the last event; plus the sanitizer's report
+         write when the run was aborted by a detection. *)
+      let tail = work (run.Interp.steps - prev) in
+      (match run.Interp.outcome with
+       | Interp.Detected _ -> tail @ [ Trace.Sys (Sc.write ~args:[ 2L; 0xBADL ] ()) ]
+       | Interp.Finished _ | Interp.Crashed _ | Interp.Fuel_exhausted -> tail)
+    | (step, ev) :: rest ->
+      let sys =
+        match ev with
+        | Interp.Output v -> Sc.write ~args:[ 1L; v ] ()
+        | Interp.Syscall (name, args) -> Sc.make ~args (strip_sys_prefix name)
+      in
+      work (step - prev) @ (Trace.Sys sys :: go step rest)
+  in
+  go 0 run.Interp.timeline
+
+let run_ir_variants ?config ?us_per_kinstr ~entry ~args moduls =
+  let traces =
+    List.map
+      (fun m -> trace_of_run ?us_per_kinstr (Interp.run m ~entry ~args))
+      moduls
+  in
+  let names = List.mapi (fun i _ -> Printf.sprintf "ir-v%d" i) moduls in
+  Nxe.run_traces ?config ~names traces

@@ -1,0 +1,32 @@
+(** The bridge between the reproduction's two layers: turn an IR
+    interpreter run into a machine-level trace and synchronize IR-program
+    variants under the real NXE.
+
+    An interpreter run's timeline (instruction counts at each observable
+    event) becomes compute intervals between syscalls; [print] output is
+    stdout traffic (a write); a sanitizer {e detection} ends the trace with
+    the report write the runtime emits before aborting — exactly the §5.3
+    observation that variant A "issues a write syscall (trying to write to
+    stderr) due to ASan's reporting" while variant B does not, which is
+    what the monitor catches. *)
+
+module Nxe := Bunshin_nxe.Nxe
+
+val trace_of_run :
+  ?us_per_kinstr:float -> Bunshin_ir.Interp.run -> Bunshin_program.Trace.t
+(** Convert a run: [Work] between events (at the given us per 1000
+    interpreted instructions, default 10.0), [Sys] at each syscall/output,
+    and the detection-report write when the run ended in [Detected]. *)
+
+val run_ir_variants :
+  ?config:Nxe.config ->
+  ?us_per_kinstr:float ->
+  entry:string ->
+  args:int64 list ->
+  Bunshin_ir.Ast.modul list ->
+  Nxe.report
+(** Interpret each variant module on the given input, convert the runs to
+    traces, and synchronize them under the NXE (variant 0 leads).  A
+    divergence alert here is the full-stack reproduction of the paper's
+    detection story: sliced variants agree on benign inputs and diverge at
+    the report syscall under attack. *)

@@ -1,0 +1,136 @@
+(** End-to-end experiment pipelines: one function per table/figure of §5.
+
+    Every pipeline builds its own simulated machine (matching the paper's
+    testbeds), runs the full stack — workload trace generation, profiling,
+    overhead distribution, variant builds, NXE synchronization — and
+    returns the numbers the corresponding table or figure reports.
+
+    Seeds: profiling uses the {e train} seed and measurements the {e ref}
+    seed, mirroring the paper's use of SPEC train/ref datasets. *)
+
+module Bench := Bunshin_workloads.Bench
+module Server := Bunshin_workloads.Server
+module San := Bunshin_sanitizer.Sanitizer
+module Nxe := Bunshin_nxe.Nxe
+
+val train_seed : int
+val ref_seed : int
+
+val desktop : Bunshin_machine.Machine.config
+(** The 4-core Xeon E5-1620 testbed. *)
+
+val server12 : Bunshin_machine.Machine.config
+(** The 12-core Xeon E5-2658 testbed used for the scalability study. *)
+
+(** {1 §5.2 — NXE efficiency (Figures 3 and 4)} *)
+
+type efficiency = {
+  ef_bench : string;
+  ef_strict : float;     (** slowdown of 3 identical variants, strict *)
+  ef_selective : float;  (** same, selective *)
+}
+
+val nxe_efficiency : ?n:int -> Bench.t -> efficiency
+
+(** {1 §5.2 — server latency (Table 2)} *)
+
+type server_latency = {
+  sl_base : float;       (** us per request, no NXE *)
+  sl_strict : float;
+  sl_selective : float;
+}
+
+val server_latency :
+  Server.kind -> file_kb:int -> connections:int -> server_latency
+
+(** {1 §5.2 — scalability in N (Figure 5)} *)
+
+val scalability : ?ns:int list -> Bench.t -> (int * float) list
+(** Overhead of synchronizing [n] identical variants on the 12-core
+    machine, for each [n] (default 2..8). *)
+
+(** {1 §5.3 — attack window (syscall distance)} *)
+
+val syscall_gap : Bench.t -> float
+(** Mean leader-to-slowest-follower syscall distance in selective mode for
+    a 2-variant ASan check distribution of the benchmark. *)
+
+(** {1 §5.4 — check distribution on ASan (Figure 6)} *)
+
+type distribution = {
+  cd_bench : string;
+  cd_full_overhead : float;       (** sanitizer enforced on the whole program *)
+  cd_variant_overheads : float list;  (** each variant run solo *)
+  cd_bunshin_overhead : float;    (** N variants under the NXE *)
+}
+
+val check_distribution :
+  ?n:int -> ?block_split:int -> ?sanitizer:San.t -> Bench.t -> distribution
+(** [block_split] > 1 distributes at basic-block granularity (§6), which
+    rescues the hmmer/lbm single-hot-function outliers. *)
+
+(** {1 §5.5 — sanitizer distribution on UBSan (Figure 7)} *)
+
+val ubsan_distribution : ?n:int -> Bench.t -> distribution
+
+(** {1 §5.6 — unifying ASan, MSan and UBSan (Figure 8)} *)
+
+type unify = {
+  un_bench : string;
+  un_asan : float;
+  un_msan : float;
+  un_ubsan : float;
+  un_bunshin : float;   (** all three composited under the NXE *)
+  un_extra_over_max : float;  (** the +4.99% headline *)
+}
+
+val unify_sanitizers : Bench.t -> unify option
+(** [None] when the benchmark cannot run one of the sanitizers (gcc/MSan). *)
+
+(** {1 §5.7 — background load (Figure 9) and single core} *)
+
+val load_sensitivity : ?levels:float list -> Bench.t -> (float * float) list
+(** [(level, overhead)] of a 2-variant NXE versus a solo run under the same
+    stress-ng-style background load. *)
+
+val single_core_overhead : Bench.t -> float
+(** Synchronization overhead of 2 variants when the machine has one core. *)
+
+(** {1 §2.3 — ASAP comparison (selective protection vs distribution)} *)
+
+type asap_comparison = {
+  ac_bench : string;
+  ac_budget : float;            (** requested fraction of full check cost *)
+  ac_asap_overhead : float;     (** single pruned binary, run solo *)
+  ac_asap_coverage : float;     (** fraction of functions still checked *)
+  ac_bunshin_overhead : float;  (** 2-variant distribution under the NXE *)
+  ac_bunshin_coverage : float;  (** always 1.0: every check lives somewhere *)
+}
+
+val asap_comparison : ?budget:float -> Bench.t -> asap_comparison
+(** Same performance target, opposite security outcome: ASAP prunes the
+    hottest checks to fit the budget; Bunshin keeps them all and splits
+    them across variants. *)
+
+(** {1 §5.1 — NXE robustness} *)
+
+val robustness : ?benches:Bench.t list -> unit -> (string * bool) list
+(** Run 3 identical copies of each benchmark's baseline binary under strict
+    lockstep and report whether the run completed without a (false)
+    divergence alert.  Defaults to SPEC + supported SPLASH/PARSEC + both
+    servers — the §5.1 sweep. *)
+
+val unsupported_demo : unit -> (string * bool) list
+(** The other half of §5.1: each runnable-but-racy PARSEC member paired
+    with [true] when the engine (correctly) fails on it — the data races
+    make syscall arguments schedule-dependent. *)
+
+(** {1 Helpers} *)
+
+val solo_time : ?machine_config:Bunshin_machine.Machine.config ->
+  Bunshin_program.Program.build -> seed:int -> float
+
+val nxe_run :
+  ?config:Nxe.config -> ?machine_config:Bunshin_machine.Machine.config ->
+  ?on_machine:(Bunshin_machine.Machine.t -> unit) ->
+  seed:int -> Bunshin_program.Program.build list -> Nxe.report

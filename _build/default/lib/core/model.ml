@@ -1,0 +1,15 @@
+let predicted_total ~variant_overheads ~sync =
+  Bunshin_util.Stats.maximum variant_overheads +. sync
+
+let theoretical_optimum ~total_checks ~residual ~n =
+  (total_checks /. float_of_int n) +. residual
+
+let imbalance ~variant_overheads =
+  let mean = Bunshin_util.Stats.mean variant_overheads in
+  List.fold_left (fun acc o -> acc +. Float.abs (o -. mean)) 0.0 variant_overheads
+
+let sync_component ~measured_total ~variant_overheads =
+  measured_total -. Bunshin_util.Stats.maximum variant_overheads
+
+let consistent ?(tolerance = 0.02) ~measured_total ~variant_overheads () =
+  measured_total +. tolerance >= Bunshin_util.Stats.maximum variant_overheads

@@ -1,0 +1,27 @@
+(** The appendix's formal model (Equations 1-4), executable.
+
+    Used two ways: the variant generator's quality is judged against the
+    theoretical optimum O_total/N (Eq. 4), and NXE measurements are
+    validated against the decomposition O_bunshin = max(O_Vi) + O_sync
+    (Eq. 1). *)
+
+val predicted_total : variant_overheads:float list -> sync:float -> float
+(** Equation 1: [max O_Vi + O_sync]. *)
+
+val theoretical_optimum : total_checks:float -> residual:float -> n:int -> float
+(** The best any N-way split can reach: an equal share of the
+    distributable checks plus the per-variant residual. *)
+
+val imbalance : variant_overheads:float list -> float
+(** Equation 4: sum of |O_Vi - mean|. *)
+
+val sync_component : measured_total:float -> variant_overheads:float list -> float
+(** Solve Eq. 1 for O_sync given a measurement: [measured - max O_Vi].
+    Includes co-execution effects (cache), so it may exceed pure protocol
+    cost; a large negative value signals an inconsistent measurement. *)
+
+val consistent :
+  ?tolerance:float -> measured_total:float -> variant_overheads:float list -> unit -> bool
+(** Eq. 1 sanity: the measured N-version overhead is at least the slowest
+    variant's (minus tolerance) — synchronized execution can never beat the
+    slowest member. *)

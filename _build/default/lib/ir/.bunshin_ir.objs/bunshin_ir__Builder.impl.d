@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Ast Int64 List Printf

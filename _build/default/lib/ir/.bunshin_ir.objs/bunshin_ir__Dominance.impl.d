@@ -1,0 +1,1 @@
+lib/ir/dominance.ml: Ast Cfg Hashtbl List Printf Set String

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Ast Bunshin_util Hashtbl Int64 List Printf Runtime_api String

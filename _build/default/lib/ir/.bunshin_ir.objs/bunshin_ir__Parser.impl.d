@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Ast Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Ast Buffer Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/ir/runtime_api.mli:

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Ast Dominance Hashtbl List Printf Runtime_api String

@@ -1,0 +1,147 @@
+(** Abstract syntax of the Bunshin mini-IR.
+
+    A deliberately small, LLVM-flavoured register IR: typed virtual
+    registers, basic blocks ending in a single terminator, explicit
+    [Unreachable] (the sink marker that check discovery keys on, §4.1 of the
+    paper), and calls to runtime/intrinsic functions for sanitizer checks,
+    report handlers, and modelled syscalls.
+
+    The IR is shared by the sanitizer instrumentation passes
+    ({!Bunshin_sanitizer}), the check-removal slicer ({!Bunshin_slicer}) and
+    the interpreter ({!Interp}). *)
+
+type ty =
+  | I1   (** booleans / check results *)
+  | I8   (** bytes *)
+  | I64  (** default integer width *)
+  | Ptr  (** untyped pointer into the interpreter's flat slot memory *)
+  | Void (** only as a return type *)
+
+type reg = string
+(** Virtual register name, printed as [%name]. *)
+
+type label = string
+(** Basic-block label. *)
+
+type value =
+  | Reg of reg
+  | Int of int64        (** integer literal *)
+  | Null                (** null pointer *)
+  | Global of string    (** address of a module-level global *)
+  | Undef               (** explicit undefined value *)
+
+type binop = Add | Sub | Mul | Sdiv | Srem | And | Or | Xor | Shl | Lshr
+type cmpop = Eq | Ne | Slt | Sle | Sgt | Sge
+
+type instr =
+  | Bin of reg * binop * value * value
+      (** [r = v1 op v2] over I64. Signed overflow wraps (that is the
+          undefined behaviour UBSan's instrumentation guards). *)
+  | Cmp of reg * cmpop * value * value
+      (** [r : I1 = v1 cmp v2]. Pointers compare by address. *)
+  | Alloca of reg * int
+      (** [r = alloca n]: stack allocation of [n] slots, freed on return. *)
+  | Load of reg * value
+      (** [r = load p]. *)
+  | Store of value * value
+      (** [store v, p]: write [v] to pointer [p]. *)
+  | Gep of reg * value * value
+      (** [r = gep p, idx]: pointer arithmetic, [p + idx] slots. *)
+  | Call of reg option * string * value list
+      (** Direct call; the callee is a module function or a runtime
+          intrinsic (see {!Interp.intrinsics}). *)
+  | CallInd of reg option * value * value list
+      (** Indirect call through a function pointer (for control-flow
+          hijack scenarios in the attack models). *)
+  | Select of reg * value * value * value
+      (** [r = select cond, v_true, v_false]. *)
+  | Phi of reg * (label * value) list
+      (** SSA-style merge; resolved by predecessor block at runtime. *)
+
+type terminator =
+  | Ret of value option
+  | Br of label
+  | CondBr of value * label * label  (** [condbr c, if_true, if_false] *)
+  | Unreachable
+      (** Trap marker. Sanitizer report blocks end in [Unreachable]; this is
+          one of the three sink-point criteria of the paper's discovery
+          step. *)
+
+type block = {
+  b_label : label;
+  mutable b_instrs : instr list;
+  mutable b_term : terminator;
+}
+
+type func = {
+  f_name : string;
+  f_params : reg list;      (* all parameters are I64 or Ptr; untyped here *)
+  mutable f_blocks : block list;  (* head is the entry block *)
+}
+
+type global = {
+  g_name : string;
+  g_size : int;             (* number of slots *)
+  g_init : int64 array;     (* initial values; shorter than size => rest uninit *)
+}
+
+type modul = {
+  mutable m_name : string;
+  mutable m_globals : global list;
+  mutable m_funcs : func list;
+}
+
+(** {1 Small accessors} *)
+
+let find_func m name = List.find_opt (fun f -> f.f_name = name) m.m_funcs
+
+let find_block f label = List.find_opt (fun b -> b.b_label = label) f.f_blocks
+
+let entry_block f =
+  match f.f_blocks with
+  | [] -> invalid_arg ("Ast.entry_block: function " ^ f.f_name ^ " has no blocks")
+  | b :: _ -> b
+
+(** Register defined by an instruction, if any. *)
+let def_of_instr = function
+  | Bin (r, _, _, _)
+  | Cmp (r, _, _, _)
+  | Alloca (r, _)
+  | Load (r, _)
+  | Gep (r, _, _)
+  | Select (r, _, _, _)
+  | Phi (r, _) -> Some r
+  | Call (r, _, _) | CallInd (r, _, _) -> r
+  | Store _ -> None
+
+(** Values read by an instruction. *)
+let uses_of_instr = function
+  | Bin (_, _, a, b) | Cmp (_, _, a, b) | Gep (_, a, b) -> [ a; b ]
+  | Alloca _ -> []
+  | Load (_, p) -> [ p ]
+  | Store (v, p) -> [ v; p ]
+  | Call (_, _, args) -> args
+  | CallInd (_, f, args) -> f :: args
+  | Select (_, c, a, b) -> [ c; a; b ]
+  | Phi (_, incoming) -> List.map snd incoming
+
+let uses_of_term = function
+  | Ret (Some v) -> [ v ]
+  | Ret None | Br _ | Unreachable -> []
+  | CondBr (c, _, _) -> [ c ]
+
+let regs_of_values values =
+  List.filter_map (function Reg r -> Some r | Int _ | Null | Global _ | Undef -> None) values
+
+(** Successor labels of a terminator. *)
+let successors = function
+  | Ret _ | Unreachable -> []
+  | Br l -> [ l ]
+  | CondBr (_, l1, l2) -> if l1 = l2 then [ l1 ] else [ l1; l2 ]
+
+(** Deep copy, so passes can transform a module without mutating the input. *)
+let copy_block b = { b with b_instrs = b.b_instrs }
+
+let copy_func f = { f with f_blocks = List.map copy_block f.f_blocks }
+
+let copy_modul m = { m with m_funcs = List.map copy_func m.m_funcs; m_globals = m.m_globals }

@@ -1,0 +1,471 @@
+open Ast
+
+type event = Output of int64 | Syscall of string * int64 list
+
+type crash =
+  | Div_by_zero
+  | Null_deref
+  | Wild_pointer of int64
+  | Bad_indirect_call of int64
+  | Stack_overflow_sim
+
+type hazard =
+  | Oob_write of int64
+  | Oob_read of int64
+  | Uaf_write of int64
+  | Uaf_read of int64
+  | Uninit_read of int64
+  | Double_free of int64
+  | Bad_free of int64
+
+type detection = { d_handler : string; d_func : string }
+
+type outcome =
+  | Finished of int64 option
+  | Detected of detection
+  | Crashed of crash
+  | Fuel_exhausted
+
+type run = {
+  outcome : outcome;
+  events : event list;
+  timeline : (int * event) list;
+  hazards : hazard list;
+  steps : int;
+}
+
+type config = {
+  fuel : int;
+  max_depth : int;
+  redzone : int;
+  undef_as : int64;
+  layout_seed : int;
+}
+
+let default_config =
+  { fuel = 1_000_000; max_depth = 10_000; redzone = 1; undef_as = 0L; layout_seed = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Runtime values and memory *)
+
+type rvalue = VInt of int64 | VPtr of int | VFunc of string | VUndef
+
+type alloc = { a_base : int; a_size : int; mutable a_freed : bool }
+
+type region_kind = RAlloc of alloc | RRedzone
+
+type cell = { mutable cv : rvalue; mutable cinit : bool }
+
+type state = {
+  cfg : config;
+  modul : modul;
+  cells : (int, cell) Hashtbl.t;
+  region : (int, region_kind) Hashtbl.t;
+  allocs : (int, alloc) Hashtbl.t; (* base -> alloc *)
+  func_addr : (string, int64) Hashtbl.t;
+  addr_func : (int64, string) Hashtbl.t;
+  global_base : (string, int) Hashtbl.t;
+  mutable next_addr : int;
+  layout_rng : Bunshin_util.Rng.t option;
+  mutable events_rev : event list;
+  mutable timeline_rev : (int * event) list;
+  mutable hazards_rev : hazard list;
+  mutable steps : int;
+}
+
+exception Trap of outcome
+
+let func_addr_base = 0x4000_0000L
+
+let record_event st e =
+  st.events_rev <- e :: st.events_rev;
+  st.timeline_rev <- (st.steps, e) :: st.timeline_rev
+let record_hazard st h = st.hazards_rev <- h :: st.hazards_rev
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.cfg.fuel then raise (Trap Fuel_exhausted)
+
+let allocate st size =
+  let size = max 1 size in
+  (* ASLR model: random inter-allocation padding perturbs relative offsets
+     between objects, in addition to the randomized base. *)
+  (match st.layout_rng with
+   | Some rng -> st.next_addr <- st.next_addr + Bunshin_util.Rng.int rng 4
+   | None -> ());
+  let base = st.next_addr in
+  let a = { a_base = base; a_size = size; a_freed = false } in
+  Hashtbl.replace st.allocs base a;
+  for i = 0 to size - 1 do
+    Hashtbl.replace st.region (base + i) (RAlloc a);
+    Hashtbl.replace st.cells (base + i) { cv = VInt 0L; cinit = false }
+  done;
+  for i = 0 to st.cfg.redzone - 1 do
+    Hashtbl.replace st.region (base + size + i) RRedzone;
+    Hashtbl.replace st.cells (base + size + i) { cv = VInt 0L; cinit = false }
+  done;
+  st.next_addr <- base + size + st.cfg.redzone;
+  a
+
+let init_state cfg modul =
+  let st =
+    {
+      cfg;
+      modul;
+      cells = Hashtbl.create 1024;
+      region = Hashtbl.create 1024;
+      allocs = Hashtbl.create 64;
+      func_addr = Hashtbl.create 16;
+      addr_func = Hashtbl.create 16;
+      global_base = Hashtbl.create 16;
+      next_addr =
+        (if cfg.layout_seed = 0 then 0x1000
+         else
+           0x1000
+           + Bunshin_util.Rng.int (Bunshin_util.Rng.create cfg.layout_seed) 0x8000);
+      layout_rng =
+        (if cfg.layout_seed = 0 then None
+         else Some (Bunshin_util.Rng.create (cfg.layout_seed * 7919)));
+      events_rev = [];
+      timeline_rev = [];
+      hazards_rev = [];
+      steps = 0;
+    }
+  in
+  List.iteri
+    (fun i f ->
+      let addr = Int64.add func_addr_base (Int64.of_int i) in
+      Hashtbl.replace st.func_addr f.f_name addr;
+      Hashtbl.replace st.addr_func addr f.f_name)
+    modul.m_funcs;
+  List.iter
+    (fun g ->
+      let a = allocate st g.g_size in
+      Hashtbl.replace st.global_base g.g_name a.a_base;
+      Array.iteri
+        (fun i v ->
+          if i < g.g_size then begin
+            let cell = Hashtbl.find st.cells (a.a_base + i) in
+            cell.cv <- VInt v;
+            cell.cinit <- true
+          end)
+        g.g_init)
+    modul.m_globals;
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Value coercions *)
+
+let to_int st = function
+  | VInt n -> n
+  | VPtr a -> Int64.of_int a
+  | VFunc f -> (try Hashtbl.find st.func_addr f with Not_found -> 0L)
+  | VUndef -> st.cfg.undef_as
+
+let truthy st v = to_int st v <> 0L
+
+(* Interpret any runtime value as a raw address, the way a machine would. *)
+let addr_of st v =
+  match v with
+  | VPtr a -> a
+  | VInt n -> Int64.to_int n
+  | VFunc _ -> Int64.to_int (to_int st v)
+  | VUndef -> Int64.to_int st.cfg.undef_as
+
+(* ------------------------------------------------------------------ *)
+(* Memory access *)
+
+type access = Read | Write
+
+let classify st addr =
+  match Hashtbl.find_opt st.region addr with
+  | None -> `Unmapped
+  | Some RRedzone -> `Redzone
+  | Some (RAlloc a) -> if a.a_freed then `Freed else `Live
+
+let mem_access st access v =
+  let addr = addr_of st v in
+  if addr = 0 then raise (Trap (Crashed Null_deref));
+  (match classify st addr with
+   | `Unmapped -> raise (Trap (Crashed (Wild_pointer (Int64.of_int addr))))
+   | `Redzone ->
+     record_hazard st
+       (match access with
+        | Read -> Oob_read (Int64.of_int addr)
+        | Write -> Oob_write (Int64.of_int addr))
+   | `Freed ->
+     record_hazard st
+       (match access with
+        | Read -> Uaf_read (Int64.of_int addr)
+        | Write -> Uaf_write (Int64.of_int addr))
+   | `Live -> ());
+  (addr, Hashtbl.find st.cells addr)
+
+let mem_load st v =
+  let addr, cell = mem_access st Read v in
+  if not cell.cinit then begin
+    record_hazard st (Uninit_read (Int64.of_int addr));
+    VInt st.cfg.undef_as
+  end
+  else cell.cv
+
+let mem_store st v ptr =
+  let _, cell = mem_access st Write ptr in
+  cell.cv <- v;
+  cell.cinit <- true
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic *)
+
+let add_overflows a b =
+  let s = Int64.add a b in
+  (a > 0L && b > 0L && s < 0L) || (a < 0L && b < 0L && s >= 0L)
+
+let mul_overflows a b =
+  if a = 0L || b = 0L then false
+  else if (a = -1L && b = Int64.min_int) || (b = -1L && a = Int64.min_int) then true
+  else
+    let p = Int64.mul a b in
+    Int64.div p a <> b
+
+let eval_binop st op va vb =
+  match (va, vb) with
+  | VUndef, _ | _, VUndef -> VUndef
+  | _ ->
+    let a = to_int st va and b = to_int st vb in
+    let ptr_result n =
+      (* Pointer arithmetic keeps pointerness so later dereference works. *)
+      match (va, vb, op) with
+      | VPtr _, VInt _, (Add | Sub) | VInt _, VPtr _, Add -> VPtr (Int64.to_int n)
+      | _ -> VInt n
+    in
+    (match op with
+     | Add -> ptr_result (Int64.add a b)
+     | Sub -> ptr_result (Int64.sub a b)
+     | Mul -> VInt (Int64.mul a b)
+     | Sdiv -> if b = 0L then raise (Trap (Crashed Div_by_zero)) else VInt (Int64.div a b)
+     | Srem -> if b = 0L then raise (Trap (Crashed Div_by_zero)) else VInt (Int64.rem a b)
+     | And -> VInt (Int64.logand a b)
+     | Or -> VInt (Int64.logor a b)
+     | Xor -> VInt (Int64.logxor a b)
+     | Shl -> VInt (Int64.shift_left a (Int64.to_int b land 63))
+     | Lshr -> VInt (Int64.shift_right_logical a (Int64.to_int b land 63)))
+
+let eval_cmpop st op va vb =
+  let a = to_int st va and b = to_int st vb in
+  let r =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Slt -> a < b
+    | Sle -> a <= b
+    | Sgt -> a > b
+    | Sge -> a >= b
+  in
+  VInt (if r then 1L else 0L)
+
+(* ------------------------------------------------------------------ *)
+(* Intrinsics *)
+
+let check_result b = VInt (if b then 1L else 0L)
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let call_intrinsic st ~in_func name args =
+  let arg n =
+    match List.nth_opt args n with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "intrinsic %s: missing argument %d" name n)
+  in
+  if Runtime_api.is_report_handler name then
+    raise (Trap (Detected { d_handler = name; d_func = in_func }))
+  else if name = Runtime_api.print then begin
+    record_event st (Output (to_int st (arg 0)));
+    VInt 0L
+  end
+  else if name = Runtime_api.malloc then begin
+    let a = allocate st (Int64.to_int (to_int st (arg 0))) in
+    VPtr a.a_base
+  end
+  else if name = Runtime_api.free then begin
+    let base = addr_of st (arg 0) in
+    (match Hashtbl.find_opt st.allocs base with
+     | Some a when not a.a_freed -> a.a_freed <- true
+     | Some _ -> record_hazard st (Double_free (Int64.of_int base))
+     | None -> record_hazard st (Bad_free (Int64.of_int base)));
+    VInt 0L
+  end
+  else if name = Runtime_api.bounds_ok then
+    let a = addr_of st (arg 0) in
+    check_result (a <> 0 && classify st a = `Live)
+  else if name = Runtime_api.in_alloc then
+    let a = addr_of st (arg 0) in
+    check_result
+      (match classify st a with `Live | `Freed -> true | `Redzone | `Unmapped -> false)
+  else if name = Runtime_api.not_freed then
+    (* Temporal-only: a key/lock check fails iff the referent was freed;
+       spatially wild addresses are not its business. *)
+    let a = addr_of st (arg 0) in
+    check_result (match classify st a with `Freed -> false | `Live | `Redzone | `Unmapped -> true)
+  else if name = Runtime_api.init_ok then
+    let a = addr_of st (arg 0) in
+    check_result (match Hashtbl.find_opt st.cells a with Some c -> c.cinit | None -> false)
+  else if name = Runtime_api.add_ok then
+    check_result (not (add_overflows (to_int st (arg 0)) (to_int st (arg 1))))
+  else if name = Runtime_api.mul_ok then
+    check_result (not (mul_overflows (to_int st (arg 0)) (to_int st (arg 1))))
+  else if name = Runtime_api.code_ptr_ok then
+    check_result
+      (match arg 0 with
+       | VFunc _ -> true
+       | v -> Hashtbl.mem st.addr_func (to_int st v))
+  else if name = Runtime_api.shift_ok then
+    let n = to_int st (arg 0) in
+    check_result (n >= 0L && n < 64L)
+  else if has_prefix Runtime_api.syscall_prefix name then begin
+    record_event st (Syscall (name, List.map (to_int st) args));
+    VInt 0L
+  end
+  else invalid_arg ("Interp: unknown intrinsic " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let rec exec_call st ~depth ~caller fname (args : rvalue list) : rvalue =
+  if depth > st.cfg.max_depth then raise (Trap (Crashed Stack_overflow_sim));
+  match find_func st.modul fname with
+  | None -> call_intrinsic st ~in_func:caller fname args
+  | Some f ->
+    if List.length args <> List.length f.f_params then
+      invalid_arg
+        (Printf.sprintf "Interp: call to %s with %d args, expected %d" fname (List.length args)
+           (List.length f.f_params));
+    let env : (reg, rvalue) Hashtbl.t = Hashtbl.create 32 in
+    List.iter2 (fun p v -> Hashtbl.replace env p v) f.f_params args;
+    let frame_allocs = ref [] in
+    let eval v =
+      match v with
+      | Reg r -> (
+        match Hashtbl.find_opt env r with
+        | Some rv -> rv
+        | None -> invalid_arg (Printf.sprintf "Interp: %s: unbound register %%%s" fname r))
+      | Int n -> VInt n
+      | Null -> VPtr 0
+      | Undef -> VUndef
+      | Global g -> (
+        match Hashtbl.find_opt st.global_base g with
+        | Some base -> VPtr base
+        | None ->
+          if Hashtbl.mem st.func_addr g then VFunc g
+          else invalid_arg (Printf.sprintf "Interp: unknown global @%s" g))
+    in
+    let set r v = Hashtbl.replace env r v in
+    let finish result =
+      (* Frame teardown: allocas become dangling (stack use-after-return). *)
+      List.iter (fun a -> a.a_freed <- true) !frame_allocs;
+      result
+    in
+    let rec run_block prev_label b =
+      (* Phis evaluate simultaneously against the incoming edge. *)
+      let phis, rest = List.partition (function Phi _ -> true | _ -> false) b.b_instrs in
+      let phi_values =
+        List.map
+          (fun i ->
+            match i with
+            | Phi (r, incoming) ->
+              tick st;
+              let v =
+                match prev_label with
+                | None -> VUndef
+                | Some l -> (
+                  match List.assoc_opt l incoming with Some v -> eval v | None -> VUndef)
+              in
+              (r, v)
+            | _ -> assert false)
+          phis
+      in
+      List.iter (fun (r, v) -> set r v) phi_values;
+      List.iter
+        (fun i ->
+          tick st;
+          match i with
+          | Phi _ -> assert false
+          | Bin (r, op, a, bv) -> set r (eval_binop st op (eval a) (eval bv))
+          | Cmp (r, op, a, bv) -> set r (eval_cmpop st op (eval a) (eval bv))
+          | Alloca (r, n) ->
+            let a = allocate st n in
+            frame_allocs := a :: !frame_allocs;
+            set r (VPtr a.a_base)
+          | Load (r, p) -> set r (mem_load st (eval p))
+          | Store (v, p) -> mem_store st (eval v) (eval p)
+          | Gep (r, p, idx) -> set r (eval_binop st Add (eval p) (eval idx))
+          | Call (dst, callee, cargs) ->
+            let result = exec_call st ~depth:(depth + 1) ~caller:fname callee (List.map eval cargs) in
+            (match dst with Some r -> set r result | None -> ())
+          | CallInd (dst, fp, cargs) ->
+            let target =
+              match eval fp with
+              | VFunc fn -> fn
+              | v -> (
+                let addr = to_int st v in
+                match Hashtbl.find_opt st.addr_func addr with
+                | Some fn -> fn
+                | None -> raise (Trap (Crashed (Bad_indirect_call addr))))
+            in
+            let result = exec_call st ~depth:(depth + 1) ~caller:fname target (List.map eval cargs) in
+            (match dst with Some r -> set r result | None -> ())
+          | Select (r, c, a, bv) -> set r (if truthy st (eval c) then eval a else eval bv))
+        rest;
+      tick st;
+      match b.b_term with
+      | Ret None -> finish (VInt 0L)
+      | Ret (Some v) ->
+        let result = eval v in
+        finish result
+      | Br l -> jump b.b_label l
+      | CondBr (c, l1, l2) -> jump b.b_label (if truthy st (eval c) then l1 else l2)
+      | Unreachable -> raise (Trap (Detected { d_handler = "unreachable"; d_func = fname }))
+    and jump from l =
+      match find_block f l with
+      | Some b -> run_block (Some from) b
+      | None -> invalid_arg (Printf.sprintf "Interp: %s: jump to unknown block %s" fname l)
+    in
+    run_block None (entry_block f)
+
+let run ?(config = default_config) modul ~entry ~args =
+  (match find_func modul entry with
+   | Some _ -> ()
+   | None -> invalid_arg ("Interp.run: no such function " ^ entry));
+  let st = init_state config modul in
+  let outcome =
+    try
+      let v = exec_call st ~depth:0 ~caller:entry entry (List.map (fun n -> VInt n) args) in
+      Finished (Some (to_int st v))
+    with Trap o -> o
+  in
+  {
+    outcome;
+    events = List.rev st.events_rev;
+    timeline = List.rev st.timeline_rev;
+    hazards = List.rev st.hazards_rev;
+    steps = st.steps;
+  }
+
+let events_equal a b = a.events = b.events
+
+let address_of_global ?(config = default_config) modul name =
+  let st = init_state config modul in
+  match Hashtbl.find_opt st.global_base name with
+  | Some base -> Int64.of_int base
+  | None -> invalid_arg ("Interp.address_of_global: unknown global " ^ name)
+
+let address_of_func modul name =
+  match find_func modul name with
+  | Some _ ->
+    let rec index i = function
+      | [] -> invalid_arg "unreachable"
+      | f :: _ when f.f_name = name -> i
+      | _ :: rest -> index (i + 1) rest
+    in
+    Int64.add func_addr_base (Int64.of_int (index 0 modul.m_funcs))
+  | None -> invalid_arg ("Interp.address_of_func: unknown function " ^ name)

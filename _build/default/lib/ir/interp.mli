@@ -1,0 +1,90 @@
+(** Interpreter for the mini-IR with a memory-error-faithful flat memory.
+
+    Memory is an address space of slots.  Allocations (globals, allocas,
+    malloc) occupy contiguous slot ranges separated by redzones.  Unchecked
+    erroneous accesses behave the way unsafe native code does:
+
+    - an out-of-bounds write lands in the redzone or the neighbouring
+      allocation (silent corruption, recorded as a {!hazard});
+    - a use-after-free reads stale bytes or corrupts whatever reuses them;
+    - an uninitialised read observes {!config.undef_as} (a per-run value, so
+      two variants can legitimately diverge — the nondeterminism source the
+      paper's §5.3 discusses);
+    - division by zero and null/wild-pointer dereferences trap ({!crash});
+    - signed overflow wraps silently.
+
+    Sanitizer instrumentation makes these errors *detectable*: check
+    intrinsics ({!Runtime_api}) query allocation metadata and branch to a
+    report handler, whose call raises a {!outcome} [Detected]. *)
+
+open Ast
+
+type event =
+  | Output of int64                 (** [print] intrinsic *)
+  | Syscall of string * int64 list  (** [sys_*] intrinsic: name (with prefix) and args *)
+
+type crash =
+  | Div_by_zero
+  | Null_deref
+  | Wild_pointer of int64       (** dereference of an unmapped address *)
+  | Bad_indirect_call of int64  (** indirect call to a non-function value *)
+  | Stack_overflow_sim          (** call depth limit *)
+
+type hazard =
+  | Oob_write of int64
+  | Oob_read of int64
+  | Uaf_write of int64
+  | Uaf_read of int64
+  | Uninit_read of int64
+  | Double_free of int64
+  | Bad_free of int64
+
+type detection = {
+  d_handler : string;  (** report handler that fired, e.g. __asan_report_store *)
+  d_func : string;     (** function containing the failed check *)
+}
+
+type outcome =
+  | Finished of int64 option
+  | Detected of detection
+  | Crashed of crash
+  | Fuel_exhausted
+
+type run = {
+  outcome : outcome;
+  events : event list;       (** observable behaviour, in order *)
+  timeline : (int * event) list;
+      (** the same events with the instruction count at which each occurred
+          — what the NXE bridge uses to reconstruct compute intervals *)
+  hazards : hazard list;     (** silent memory errors that occurred, in order *)
+  steps : int;               (** instructions executed *)
+}
+
+type config = {
+  fuel : int;           (** instruction budget (default 1_000_000) *)
+  max_depth : int;      (** call depth limit (default 10_000) *)
+  redzone : int;        (** slots between allocations (default 1) *)
+  undef_as : int64;     (** value observed by uninitialised reads (default 0) *)
+  layout_seed : int;    (** ASLR model: 0 = fixed layout; otherwise shifts the
+                            address-space base and pads allocations, so
+                            absolute addresses differ between variants *)
+}
+
+val default_config : config
+
+val run : ?config:config -> modul -> entry:string -> args:int64 list -> run
+(** Execute [entry] with the given integer arguments.
+    @raise Invalid_argument if [entry] does not exist or arity mismatches. *)
+
+val address_of_global : ?config:config -> modul -> string -> int64
+(** Address the named global receives under the given layout — what an
+    attacker learns from an information leak.
+    @raise Invalid_argument for unknown globals. *)
+
+val address_of_func : modul -> string -> int64
+(** Code address of a function (layout-independent in this model).
+    @raise Invalid_argument for unknown functions. *)
+
+val events_equal : run -> run -> bool
+(** Same observable event sequence — the notion of behavioural equivalence
+    used by the check-removal correctness tests. *)

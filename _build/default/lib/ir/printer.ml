@@ -1,0 +1,86 @@
+open Ast
+
+let string_of_value = function
+  | Reg r -> "%" ^ r
+  | Int n -> Int64.to_string n
+  | Null -> "null"
+  | Global g -> "@" ^ g
+  | Undef -> "undef"
+
+let string_of_binop = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Sdiv -> "sdiv"
+  | Srem -> "srem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+
+let string_of_cmpop = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Sgt -> "sgt"
+  | Sge -> "sge"
+
+let args_str args = String.concat ", " (List.map string_of_value args)
+
+let string_of_instr instr =
+  let v = string_of_value in
+  match instr with
+  | Bin (r, op, a, b) -> Printf.sprintf "%%%s = %s %s, %s" r (string_of_binop op) (v a) (v b)
+  | Cmp (r, op, a, b) -> Printf.sprintf "%%%s = icmp %s %s, %s" r (string_of_cmpop op) (v a) (v b)
+  | Alloca (r, n) -> Printf.sprintf "%%%s = alloca %d" r n
+  | Load (r, p) -> Printf.sprintf "%%%s = load %s" r (v p)
+  | Store (x, p) -> Printf.sprintf "store %s, %s" (v x) (v p)
+  | Gep (r, p, i) -> Printf.sprintf "%%%s = gep %s, %s" r (v p) (v i)
+  | Call (Some r, f, args) -> Printf.sprintf "%%%s = call @%s(%s)" r f (args_str args)
+  | Call (None, f, args) -> Printf.sprintf "call @%s(%s)" f (args_str args)
+  | CallInd (Some r, fp, args) -> Printf.sprintf "%%%s = call_ind %s(%s)" r (v fp) (args_str args)
+  | CallInd (None, fp, args) -> Printf.sprintf "call_ind %s(%s)" (v fp) (args_str args)
+  | Select (r, c, a, b) -> Printf.sprintf "%%%s = select %s, %s, %s" r (v c) (v a) (v b)
+  | Phi (r, incoming) ->
+    let parts = List.map (fun (l, x) -> Printf.sprintf "[%s, %%%s]" (string_of_value x) l) incoming in
+    Printf.sprintf "%%%s = phi %s" r (String.concat ", " parts)
+
+let string_of_term = function
+  | Ret None -> "ret void"
+  | Ret (Some x) -> "ret " ^ string_of_value x
+  | Br l -> "br %" ^ l
+  | CondBr (c, l1, l2) -> Printf.sprintf "condbr %s, %%%s, %%%s" (string_of_value c) l1 l2
+  | Unreachable -> "unreachable"
+
+let string_of_block b =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (b.b_label ^ ":\n");
+  List.iter (fun i -> Buffer.add_string buf ("  " ^ string_of_instr i ^ "\n")) b.b_instrs;
+  Buffer.add_string buf ("  " ^ string_of_term b.b_term ^ "\n");
+  Buffer.contents buf
+
+let string_of_func f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "define @%s(%s) {\n" f.f_name
+       (String.concat ", " (List.map (fun p -> "%" ^ p) f.f_params)));
+  List.iter (fun b -> Buffer.add_string buf (string_of_block b)) f.f_blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let string_of_modul m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "; module %s\n" m.m_name);
+  List.iter
+    (fun g ->
+      if Array.length g.g_init = 0 then
+        Buffer.add_string buf (Printf.sprintf "@%s = global [%d]\n" g.g_name g.g_size)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "@%s = global [%d] init [%s]\n" g.g_name g.g_size
+             (String.concat ", " (Array.to_list (Array.map Int64.to_string g.g_init)))))
+    m.m_globals;
+  List.iter (fun f -> Buffer.add_string buf ("\n" ^ string_of_func f)) m.m_funcs;
+  Buffer.contents buf

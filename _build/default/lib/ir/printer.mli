@@ -1,0 +1,11 @@
+(** Textual rendering of the mini-IR (LLVM-ish syntax) for debugging,
+    example output and golden tests. *)
+
+open Ast
+
+val string_of_value : value -> string
+val string_of_instr : instr -> string
+val string_of_term : terminator -> string
+val string_of_block : block -> string
+val string_of_func : func -> string
+val string_of_modul : modul -> string

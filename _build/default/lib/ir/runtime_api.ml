@@ -1,0 +1,30 @@
+let malloc = "malloc"
+let free = "free"
+let print = "print"
+let syscall_prefix = "sys_"
+
+let bounds_ok = "__bunshin_bounds_ok"
+let not_freed = "__bunshin_not_freed"
+let in_alloc = "__bunshin_in_alloc"
+let init_ok = "__bunshin_init_ok"
+let add_ok = "__bunshin_add_ok"
+let mul_ok = "__bunshin_mul_ok"
+let shift_ok = "__bunshin_shift_ok"
+let code_ptr_ok = "__bunshin_code_ptr_ok"
+let canary_value = 0xC0FFEEL
+
+let report_prefixes =
+  [ "__asan_report_"; "__msan_report"; "__ubsan_report_"; "__softbound_report";
+    "__cets_report"; "__safecode_report"; "__stackcookie_report"; "__cfi_report" ]
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let is_report_handler name = List.exists (fun p -> has_prefix p name) report_prefixes
+
+let helpers = [ bounds_ok; not_freed; in_alloc; init_ok; add_ok; mul_ok; shift_ok; code_ptr_ok ]
+
+let is_intrinsic name =
+  name = malloc || name = free || name = print
+  || has_prefix syscall_prefix name
+  || List.mem name helpers
+  || is_report_handler name

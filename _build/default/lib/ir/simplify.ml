@@ -1,0 +1,58 @@
+open Ast
+
+let drop_unreachable f =
+  let cfg = Cfg.of_func f in
+  let reachable = Cfg.reachable cfg in
+  { f with f_blocks = List.filter (fun b -> List.mem b.b_label reachable) f.f_blocks }
+
+(* Rename phi references to [from] into [into] everywhere. *)
+let rename_phi_label ~from ~into blocks =
+  List.iter
+    (fun b ->
+      b.b_instrs <-
+        List.map
+          (function
+            | Phi (r, incoming) ->
+              Phi (r, List.map (fun (l, v) -> ((if l = from then into else l), v)) incoming)
+            | i -> i)
+          b.b_instrs)
+    blocks
+
+let has_phi b = List.exists (function Phi _ -> true | _ -> false) b.b_instrs
+
+let merge_once f =
+  let cfg = Cfg.of_func f in
+  let mergeable a =
+    match a.b_term with
+    | Br target when target <> a.b_label -> (
+      match find_block f target with
+      | Some b when Cfg.predecessors cfg target = [ a.b_label ] && not (has_phi b) -> Some b
+      | _ -> None)
+    | Br _ | Ret _ | CondBr _ | Unreachable -> None
+  in
+  let rec find = function
+    | [] -> None
+    | a :: rest -> ( match mergeable a with Some b -> Some (a, b) | None -> find rest)
+  in
+  match find f.f_blocks with
+  | None -> None
+  | Some (a, b) ->
+    a.b_instrs <- a.b_instrs @ b.b_instrs;
+    a.b_term <- b.b_term;
+    let blocks = List.filter (fun blk -> blk != b) f.f_blocks in
+    rename_phi_label ~from:b.b_label ~into:a.b_label blocks;
+    Some { f with f_blocks = blocks }
+
+let func f =
+  let f = copy_func f in
+  let f = drop_unreachable f in
+  let rec fixpoint f = match merge_once f with Some f' -> fixpoint f' | None -> f in
+  fixpoint f
+
+let modul m =
+  let m' = copy_modul m in
+  m'.m_funcs <- List.map func m'.m_funcs;
+  m'
+
+let block_count m =
+  List.fold_left (fun acc f -> acc + List.length f.f_blocks) 0 m.m_funcs

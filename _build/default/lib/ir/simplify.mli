@@ -1,0 +1,16 @@
+(** Control-flow cleanup: the tidy-up pass run after check removal.
+
+    Check removal leaves chains of trivial blocks (an unconditional branch
+    to a block with a single predecessor) where checks used to split the
+    code.  This pass merges such chains, deletes unreachable blocks, and
+    leaves behavior untouched — after it, a fully de-instrumented module is
+    structurally equivalent to the original compilation. *)
+
+val func : Ast.func -> Ast.func
+(** Simplify one function. *)
+
+val modul : Ast.modul -> Ast.modul
+(** Simplify a copy of the module. *)
+
+val block_count : Ast.modul -> int
+(** Total number of basic blocks (for structural comparisons in tests). *)

@@ -1,0 +1,20 @@
+(** Structural well-formedness checks for mini-IR modules.
+
+    The verifier enforces the invariants the slicer and interpreter rely on:
+    unique labels and register definitions within a function, branch targets
+    that exist, phi nodes that name actual predecessors, calls to known
+    module functions or known intrinsics, and the SSA dominance rule (every
+    use dominated by its definition, via {!Dominance}). *)
+
+open Ast
+
+type error = { ev_func : string; ev_message : string }
+
+val errors : modul -> error list
+(** All violations found, empty when the module is well formed. *)
+
+val check : modul -> (unit, string) result
+(** [Ok ()] or a rendered multi-line error report. *)
+
+val check_exn : modul -> unit
+(** @raise Invalid_argument with the rendered report when invalid. *)

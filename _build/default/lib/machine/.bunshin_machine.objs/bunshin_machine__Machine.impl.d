@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Effect Event_heap Float List Printf Queue String

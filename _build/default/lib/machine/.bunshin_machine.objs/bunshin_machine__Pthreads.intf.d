@@ -1,0 +1,1 @@
+lib/machine/pthreads.mli: Machine

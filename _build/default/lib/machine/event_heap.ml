@@ -1,0 +1,67 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.data) in
+  let dummy = t.data.(0) in
+  let data = Array.make cap dummy in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t time payload =
+  let e = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = 0 && Array.length t.data = 0 then t.data <- Array.make 16 e;
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- e;
+  t.len <- t.len + 1;
+  (* Sift up. *)
+  let i = ref (t.len - 1) in
+  while !i > 0 && before t.data.(!i) t.data.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = t.data.(p) in
+    t.data.(p) <- t.data.(!i);
+    t.data.(!i) <- tmp;
+    i := p
+  done
+
+let peek t = if t.len = 0 then None else Some (t.data.(0).time, t.data.(0).payload)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && before t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.len && before t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.data.(!smallest) in
+          t.data.(!smallest) <- t.data.(!i);
+          t.data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let size t = t.len
+let is_empty t = t.len = 0

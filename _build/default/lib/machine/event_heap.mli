@@ -1,0 +1,11 @@
+(** Binary min-heap of timestamped events, the core of the discrete-event
+    loop.  Ties break by insertion order so simulations are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+val peek : 'a t -> (float * 'a) option
+val size : 'a t -> int
+val is_empty : 'a t -> bool

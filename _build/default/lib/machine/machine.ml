@@ -1,0 +1,439 @@
+open Effect
+open Effect.Deep
+
+type config = {
+  cores : int;
+  quantum : float;
+  ctx_switch_cost : float;
+  llc_capacity : float;
+  base_miss_rate : float;
+  miss_penalty : float;
+  max_time : float;
+}
+
+let default_config =
+  {
+    cores = 4;
+    (* A Linux-like timeslice: long enough that context-switch cost is paid
+       on real thread changes, not on every microsecond of compute. *)
+    quantum = 250.0;
+    ctx_switch_cost = 1.0;
+    llc_capacity = 1e9;
+    base_miss_rate = 0.02;
+    miss_penalty = 0.5;
+    max_time = 1e12;
+  }
+
+type state = Ready | Running | Blocked | Sleeping | Finished
+
+type kstate = Not_started | Suspended of (unit, unit) continuation | Live
+
+type proc = {
+  pid : int;
+  pname : string;
+  ws : float;
+  sens : float; (* fraction of cycles that are LLC-bound *)
+  mutable proc_threads : thread list;
+}
+
+and thread = {
+  id : int;
+  tname : string;
+  daemon : bool;
+  t_proc : proc;
+  body : unit -> unit;
+  mutable state : state;
+  mutable k : kstate;
+  mutable remaining : float;
+  mutable wake_pending : bool;
+  mutable finish_time : float;
+  mutable cpu : float;
+}
+
+type tid = thread
+
+type event = Burst_end of thread * int * float * float | Wake_at of thread
+
+type core = { mutable c_last : int; mutable c_busy : bool; mutable c_budget : float }
+
+type t = {
+  cfg : config;
+  heap : event Event_heap.t;
+  runq : thread Queue.t;
+  cores : core array;
+  mutable procs : proc list;
+  mutable threads : thread list;
+  mutable clock : float;
+  mutable current : thread option;
+  mutable next_pid : int;
+  mutable next_tid : int;
+  mutable ctx_switches : int;
+  mutable pressure_peak : float;
+}
+
+type _ Effect.t +=
+  | E_compute : float -> unit Effect.t
+  | E_sleep : float -> unit Effect.t
+  | E_park : unit Effect.t
+  | E_yield : unit Effect.t
+
+exception Deadlock of string
+
+let create ?(config = default_config) () =
+  if config.cores < 1 then invalid_arg "Machine.create: need at least one core";
+  {
+    cfg = config;
+    heap = Event_heap.create ();
+    runq = Queue.create ();
+    cores =
+      Array.init config.cores (fun _ -> { c_last = -1; c_busy = false; c_budget = 0.0 });
+    procs = [];
+    threads = [];
+    clock = 0.0;
+    current = None;
+    next_pid = 0;
+    next_tid = 0;
+    ctx_switches = 0;
+    pressure_peak = 0.0;
+  }
+
+let now t = t.clock
+
+let new_proc t ?(cache_sensitivity = 1.0) ~name ~working_set () =
+  let p =
+    { pid = t.next_pid; pname = name; ws = working_set; sens = cache_sensitivity;
+      proc_threads = [] }
+  in
+  t.next_pid <- t.next_pid + 1;
+  t.procs <- p :: t.procs;
+  p
+
+let proc_name p = p.pname
+
+let make_ready t th =
+  th.state <- Ready;
+  Queue.push th t.runq
+
+let spawn t ?(daemon = false) proc ~name body =
+  let th =
+    {
+      id = t.next_tid;
+      tname = name;
+      daemon;
+      t_proc = proc;
+      body;
+      state = Ready;
+      k = Not_started;
+      remaining = 0.0;
+      wake_pending = false;
+      finish_time = 0.0;
+      cpu = 0.0;
+    }
+  in
+  t.next_tid <- t.next_tid + 1;
+  t.threads <- th :: t.threads;
+  proc.proc_threads <- th :: proc.proc_threads;
+  Queue.push th t.runq;
+  th
+
+let current_thread t =
+  match t.current with
+  | Some th -> th
+  | None -> invalid_arg "Machine: fiber operation outside a thread body"
+
+let self t = current_thread t
+
+let compute t d =
+  let _ = current_thread t in
+  if d > 0.0 then perform (E_compute d)
+
+let sleep t d =
+  let _ = current_thread t in
+  if d > 0.0 then perform (E_sleep d)
+
+let park t =
+  let th = current_thread t in
+  if th.wake_pending then th.wake_pending <- false else perform E_park
+
+let yield t =
+  let _ = current_thread t in
+  perform E_yield
+
+let wake t th =
+  ignore t;
+  match th.state with
+  | Blocked ->
+    th.state <- Ready;
+    Queue.push th t.runq
+  | Ready | Running | Sleeping -> th.wake_pending <- true
+  | Finished -> ()
+
+let thread_name _t th = th.tname
+let thread_finished _t th = th.state = Finished
+
+(* ------------------------------------------------------------------ *)
+(* Cache model: inflation of compute cost under LLC pressure. *)
+
+let active_pressure t =
+  let active p =
+    List.exists (fun th -> match th.state with Ready | Running -> true | _ -> false)
+      p.proc_threads
+  in
+  let total = List.fold_left (fun acc p -> if active p then acc +. p.ws else acc) 0.0 t.procs in
+  total /. t.cfg.llc_capacity
+
+let multiplier t th =
+  let pressure = active_pressure t in
+  if pressure > t.pressure_peak then t.pressure_peak <- pressure;
+  if pressure <= 1.0 then 1.0
+  else
+    (* Extra miss fraction grows with over-subscription, asymptoting to 1.
+       Only the thread's LLC-bound cycles are hit (sanitizer check cycles
+       are compute-bound and shrug off evictions). *)
+    let extra = 1.0 -. (1.0 /. pressure) in
+    1.0 +. (t.cfg.miss_penalty *. extra *. th.t_proc.sens)
+
+(* ------------------------------------------------------------------ *)
+(* Fiber management *)
+
+let handler t th =
+  {
+    retc =
+      (fun () ->
+        th.state <- Finished;
+        th.finish_time <- t.clock;
+        th.k <- Live);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | E_compute d ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              th.k <- Suspended k;
+              th.remaining <- d;
+              make_ready t th)
+        | E_sleep d ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              th.k <- Suspended k;
+              th.state <- Sleeping;
+              Event_heap.push t.heap (t.clock +. d) (Wake_at th))
+        | E_park ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              th.k <- Suspended k;
+              th.state <- Blocked)
+        | E_yield ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              th.k <- Suspended k;
+              make_ready t th)
+        | _ -> None);
+  }
+
+let resume_fiber t th =
+  let saved = t.current in
+  t.current <- Some th;
+  th.state <- Running;
+  (match th.k with
+   | Not_started ->
+     th.k <- Live;
+     match_with th.body () (handler t th)
+   | Suspended k ->
+     th.k <- Live;
+     continue k ()
+   | Live -> invalid_arg "Machine: resuming a live fiber");
+  t.current <- saved
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+(* Wake affinity: prefer the core this thread last ran on (warm caches, no
+   switch charge), like the kernel's select_idle_sibling. *)
+let free_core_for t th =
+  let n = Array.length t.cores in
+  let rec find_last i =
+    if i = n then None
+    else if (not t.cores.(i).c_busy) && t.cores.(i).c_last = th.id then Some i
+    else find_last (i + 1)
+  in
+  let rec find_any i =
+    if i = n then None else if not t.cores.(i).c_busy then Some i else find_any (i + 1)
+  in
+  match find_last 0 with Some i -> Some i | None -> find_any 0
+
+let start_burst t th ci =
+  let core = t.cores.(ci) in
+  let ctx =
+    if core.c_last <> th.id then begin
+      t.ctx_switches <- t.ctx_switches + 1;
+      core.c_budget <- t.cfg.quantum;
+      t.cfg.ctx_switch_cost
+    end
+    else 0.0
+  in
+  core.c_last <- th.id;
+  core.c_busy <- true;
+  let mult = multiplier t th in
+  let slice = Float.min th.remaining t.cfg.quantum in
+  let effective = ctx +. (slice *. mult) in
+  th.state <- Running;
+  Event_heap.push t.heap (t.clock +. effective) (Burst_end (th, ci, slice, effective))
+
+let dispatch t =
+  (* Each round: walk the current run queue once, resuming zero-cost fibers
+     (which may enqueue new work -> another round) and starting bursts while
+     cores remain.  Threads that cannot be placed stay queued for the next
+     event. *)
+  let again = ref true in
+  while !again do
+    again := false;
+    (* Timeslice affinity: a free core whose last thread is runnable and
+       still has quantum budget keeps it, regardless of queue order —
+       otherwise two compute-heavy threads would ping-pong on every op. *)
+    Array.iter
+      (fun core ->
+        if (not core.c_busy) && core.c_budget > 0.0 then begin
+          let keep = ref None in
+          Queue.iter
+            (fun th ->
+              if !keep = None && th.id = core.c_last && th.state = Ready && th.remaining > 0.0
+              then keep := Some th)
+            t.runq;
+          match !keep with
+          | Some th ->
+            (* Remove that one entry, preserving the order of the rest. *)
+            let rest = Queue.create () in
+            Queue.iter (fun x -> if x != th then Queue.push x rest) t.runq;
+            Queue.clear t.runq;
+            Queue.transfer rest t.runq;
+            let ci =
+              let rec find i = if t.cores.(i) == core then i else find (i + 1) in
+              find 0
+            in
+            start_burst t th ci;
+            core.c_budget <- core.c_budget -. Float.min th.remaining t.cfg.quantum
+          | None -> ()
+        end)
+      t.cores;
+    let pending = Queue.length t.runq in
+    for _ = 1 to pending do
+      match Queue.take_opt t.runq with
+      | None -> ()
+      | Some th when th.state <> Ready -> () (* stale entry *)
+      | Some th ->
+        if th.remaining <= 0.0 then begin
+          (* Nothing to burn: resume the fiber immediately (zero sim time). *)
+          resume_fiber t th;
+          again := true
+        end
+        else begin
+          match free_core_for t th with
+          | None -> Queue.push th t.runq
+          | Some ci ->
+            start_burst t th ci;
+            t.cores.(ci).c_budget <- t.cores.(ci).c_budget -. Float.min th.remaining t.cfg.quantum
+        end
+    done
+  done
+
+let non_daemon_alive t =
+  List.exists (fun th -> (not th.daemon) && th.state <> Finished) t.threads
+
+let deadlocked t =
+  let stuck = ref [] in
+  let all_blocked_or_done =
+    List.for_all
+      (fun th ->
+        if th.daemon then true
+        else
+          match th.state with
+          | Finished -> true
+          | Blocked ->
+            stuck := th.tname :: !stuck;
+            true
+          | Ready | Running | Sleeping -> false)
+      t.threads
+  in
+  if all_blocked_or_done && !stuck <> [] then Some (String.concat ", " !stuck) else None
+
+let handle_event t = function
+  | Wake_at th ->
+    if th.state = Sleeping then begin
+      th.state <- Ready;
+      Queue.push th t.runq
+    end
+  | Burst_end (th, ci, slice, effective) ->
+    t.cores.(ci).c_busy <- false;
+    th.remaining <- th.remaining -. slice;
+    th.cpu <- th.cpu +. effective;
+    if th.remaining > 1e-12 then make_ready t th else resume_fiber t th
+
+let run t =
+  let rec loop () =
+    dispatch t;
+    if not (non_daemon_alive t) then ()
+    else begin
+      (match deadlocked t with
+       | Some names -> raise (Deadlock ("threads blocked forever: " ^ names))
+       | None -> ());
+      match Event_heap.pop t.heap with
+      | None ->
+        (* No events and dispatch made no progress: every runnable path is
+           exhausted, so remaining non-daemon threads are stuck. *)
+        raise (Deadlock "no pending events but non-daemon threads remain")
+      | Some (time, ev) ->
+        t.clock <- Float.max t.clock time;
+        if t.clock > t.cfg.max_time then
+          raise (Deadlock (Printf.sprintf "max_time %.0f exceeded" t.cfg.max_time));
+        handle_event t ev;
+        loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+type stats = { total_time : float; context_switches : int; cache_pressure_peak : float }
+
+let stats t =
+  let total =
+    List.fold_left
+      (fun acc th -> if th.daemon then acc else Float.max acc th.finish_time)
+      0.0 t.threads
+  in
+  { total_time = total; context_switches = t.ctx_switches; cache_pressure_peak = t.pressure_peak }
+
+let proc_cpu_time _t p = List.fold_left (fun acc th -> acc +. th.cpu) 0.0 p.proc_threads
+
+let proc_finish_time _t p =
+  List.fold_left
+    (fun acc th -> if th.daemon then acc else Float.max acc th.finish_time)
+    0.0 p.proc_threads
+
+(* ------------------------------------------------------------------ *)
+(* Waitq *)
+
+module Waitq = struct
+  type mach = t
+  type t = { q : thread Queue.t }
+
+  let create () = { q = Queue.create () }
+
+  let wait (m : mach) wq =
+    let th = current_thread m in
+    Queue.push th wq.q;
+    park m
+
+  let signal (m : mach) wq =
+    match Queue.take_opt wq.q with None -> () | Some th -> wake m th
+
+  let broadcast (m : mach) wq =
+    while not (Queue.is_empty wq.q) do
+      signal m wq
+    done
+
+  let waiters wq = Queue.length wq.q
+end

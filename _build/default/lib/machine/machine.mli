@@ -1,0 +1,119 @@
+(** Discrete-event simulation of a multicore machine.
+
+    Threads are cooperative fibers (OCaml 5 effect handlers) that consume
+    simulated CPU with {!compute}, block with {!park}/{!wake} or {!sleep},
+    and run on a bounded number of cores with round-robin time slicing and a
+    context-switch cost.  A shared last-level cache model inflates compute
+    cost when the combined working set of active processes exceeds LLC
+    capacity — the mechanism behind the paper's Fig. 5 (scalability limited
+    by LLC pressure) and Fig. 9 (background load).
+
+    Time is in abstract microseconds.  The simulation is deterministic:
+    identical programs produce identical schedules. *)
+
+type t
+type tid
+type proc
+
+type config = {
+  cores : int;              (** simultaneously running threads *)
+  quantum : float;          (** scheduler time slice, us *)
+  ctx_switch_cost : float;  (** charged when a core switches threads, us *)
+  llc_capacity : float;     (** LLC size, abstract working-set units *)
+  base_miss_rate : float;   (** LLC miss rate when everything fits *)
+  miss_penalty : float;     (** compute inflation at 100% extra misses *)
+  max_time : float;         (** safety stop for runaway simulations *)
+}
+
+val default_config : config
+(** 4 cores, 250us quantum, 1us context switch, generous LLC. *)
+
+val create : ?config:config -> unit -> t
+
+val now : t -> float
+(** Current simulated time. *)
+
+val new_proc :
+  t -> ?cache_sensitivity:float -> name:string -> working_set:float -> unit -> proc
+(** Register a process (one variant, one server, ...).  [working_set] is its
+    LLC footprint in the same units as [llc_capacity]; [cache_sensitivity]
+    (default 1.0) is the fraction of its cycles that miss penalties touch —
+    a heavily instrumented variant spends most cycles in compute-bound
+    checks, so its sensitivity is baseline_cycles / total_cycles. *)
+
+val proc_name : proc -> string
+
+val spawn : t -> ?daemon:bool -> proc -> name:string -> (unit -> unit) -> tid
+(** Create a thread in [proc] running [body].  Daemon threads (background
+    load generators) do not keep the simulation alive.  [body] executes when
+    {!run} dispatches it and must use the fiber operations below for all
+    waiting. *)
+
+(** {1 Fiber operations} — valid only inside a thread body. *)
+
+val compute : t -> float -> unit
+(** Consume CPU for the given cost (pre cache inflation). *)
+
+val sleep : t -> float -> unit
+(** Wait wall-clock time without occupying a core. *)
+
+val park : t -> unit
+(** Block until another thread calls {!wake} on this thread.  A wake that
+    arrives before the park is not lost: the park returns immediately. *)
+
+val yield : t -> unit
+(** Round-robin reschedule point. *)
+
+val self : t -> tid
+
+(** {1 Cross-thread operations} — callable from fiber bodies or handlers. *)
+
+val wake : t -> tid -> unit
+(** Unblock a parked thread (or pre-arm its next {!park}). *)
+
+val thread_name : t -> tid -> string
+val thread_finished : t -> tid -> bool
+
+(** {1 Running} *)
+
+exception Deadlock of string
+(** Raised when non-daemon threads are all blocked with nothing pending —
+    the simulation equivalent of a hung process group.  The message lists
+    the stuck threads. *)
+
+val run : t -> unit
+(** Execute until every non-daemon thread finishes.
+    @raise Deadlock when progress becomes impossible. *)
+
+type stats = {
+  total_time : float;          (** time when the last non-daemon thread ended *)
+  context_switches : int;
+  cache_pressure_peak : float; (** max working-set / LLC ratio observed *)
+}
+
+val stats : t -> stats
+
+val proc_cpu_time : t -> proc -> float
+(** Total CPU consumed by the process's threads (post cache inflation). *)
+
+val proc_finish_time : t -> proc -> float
+(** Time when the process's last non-daemon thread finished; 0. if none ran. *)
+
+(** {1 Waiting primitives built on park/wake} *)
+
+module Waitq : sig
+  type mach := t
+  type t
+
+  val create : unit -> t
+  val wait : mach -> t -> unit
+  (** Park the calling thread on the queue. *)
+
+  val signal : mach -> t -> unit
+  (** Wake the longest-waiting thread, if any. *)
+
+  val broadcast : mach -> t -> unit
+  (** Wake all waiting threads. *)
+
+  val waiters : t -> int
+end

@@ -1,0 +1,47 @@
+type lock_state = { mutable held : bool; lq : Machine.Waitq.t }
+
+type barrier_state = { mutable arrived : int; bq : Machine.Waitq.t }
+
+type t = {
+  locks : (int, lock_state) Hashtbl.t;
+  barriers : (int, barrier_state) Hashtbl.t;
+}
+
+let create () = { locks = Hashtbl.create 8; barriers = Hashtbl.create 4 }
+
+let get_lock t id =
+  match Hashtbl.find_opt t.locks id with
+  | Some l -> l
+  | None ->
+    let l = { held = false; lq = Machine.Waitq.create () } in
+    Hashtbl.replace t.locks id l;
+    l
+
+let get_barrier t id =
+  match Hashtbl.find_opt t.barriers id with
+  | Some b -> b
+  | None ->
+    let b = { arrived = 0; bq = Machine.Waitq.create () } in
+    Hashtbl.replace t.barriers id b;
+    b
+
+let lock m t id =
+  let l = get_lock t id in
+  while l.held do
+    Machine.Waitq.wait m l.lq
+  done;
+  l.held <- true
+
+let unlock m t id =
+  let l = get_lock t id in
+  l.held <- false;
+  Machine.Waitq.signal m l.lq
+
+let barrier m t id expected =
+  let b = get_barrier t id in
+  b.arrived <- b.arrived + 1;
+  if b.arrived >= expected then begin
+    b.arrived <- 0;
+    Machine.Waitq.broadcast m b.bq
+  end
+  else Machine.Waitq.wait m b.bq

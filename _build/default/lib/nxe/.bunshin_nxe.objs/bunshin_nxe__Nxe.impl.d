@@ -1,0 +1,1 @@
+lib/nxe/nxe.ml: Array Bunshin_machine Bunshin_program Bunshin_syscall Bunshin_util Float Format Hashtbl Int64 List Printf

@@ -1,0 +1,1 @@
+lib/nxe/nxe.mli: Bunshin_machine Bunshin_program

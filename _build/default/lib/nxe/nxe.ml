@@ -1,0 +1,711 @@
+module M = Bunshin_machine.Machine
+module Pthreads = Bunshin_machine.Pthreads
+module Sc = Bunshin_syscall.Syscall
+module Trace = Bunshin_program.Trace
+module Program = Bunshin_program.Program
+module Vec = Bunshin_util.Vec
+
+type mode = Strict_lockstep | Selective_lockstep
+
+type config = {
+  mode : mode;
+  ring_capacity : int;
+  checkin_cost : float;
+  fetch_cost : float;
+  synccall_cost : float;
+  resched_cost : float;
+  weak_determinism : bool;
+  sync_shared_memory : bool;
+}
+
+let default_config =
+  {
+    mode = Strict_lockstep;
+    ring_capacity = 64;
+    checkin_cost = 0.3;
+    fetch_cost = 0.25;
+    synccall_cost = 0.4;
+    (* Futex sleep/wake round trip plus scheduler latency: paid whenever a
+       party actually blocks at a sync point — the "scheduled in and out of
+       the CPU" cost that makes strict lockstep dearer (§3.3). *)
+    resched_cost = 0.25;
+    weak_determinism = true;
+    sync_shared_memory = true;
+  }
+
+let selective = { default_config with mode = Selective_lockstep }
+
+type alert = {
+  al_channel : int;
+  al_position : int;
+  al_variant : int;
+  al_expected : string;
+  al_got : string;
+}
+
+type report = {
+  outcome : [ `All_finished | `Aborted of alert ];
+  total_time : float;
+  variant_finish : float list;
+  variant_cpu : float list;
+  synced_syscalls : int;
+  lockstep_syscalls : int;
+  avg_syscall_gap : float;
+  max_syscall_gap : int;
+  order_list_length : int;
+  det_replays : int;
+  channels : int;
+  machine_stats : M.stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Internal state *)
+
+type slot = { s_sc : Sc.t; mutable s_ready : bool; mutable s_arrived : int }
+
+(* One syscall channel per logical thread: the per-thread stream of the
+   execution group. *)
+type chan = {
+  ch_id : int;
+  ch_path : string; (* identity of the logical thread, equal across variants *)
+  slots : slot Vec.t;
+  mutable leader_pos : int;
+  mutable leader_done : bool;
+  cursors : int array; (* per follower *)
+  fol_done : bool array;
+  leader_q : M.Waitq.t;
+  fol_q : M.Waitq.t array;
+}
+
+(* Weak-determinism replay state: one per process path, shared by all
+   variants (models the kernel module's order_list). *)
+type det = {
+  d_order : string Vec.t; (* ltids in leader acquisition order *)
+  d_cursors : int array;  (* per follower variant *)
+  d_qs : M.Waitq.t array; (* per follower variant *)
+}
+
+type t = {
+  cfg : config;
+  n : int;
+  machine : M.t;
+  working_sets : float array;
+  sensitivities : float array;
+  names : string array;
+  mutable failed : alert option;
+  mutable chan_count : int;
+  mutable all_chans : chan list;
+  mutable all_dets : det list;
+  chan_reg : (string, chan) Hashtbl.t;           (* channel path -> chan *)
+  det_reg : (string, det) Hashtbl.t;             (* proc path -> det *)
+  pth_reg : (string * int, Pthreads.t) Hashtbl.t; (* (proc path, variant) *)
+  cnt_reg : (string * int, (int, int64 ref) Hashtbl.t) Hashtbl.t;
+  (* shared counters per (proc path, variant): shared-memory state whose
+     update order is what weak determinism exists to replicate *)
+  proc_reg : (string * int, M.proc) Hashtbl.t;   (* (proc path, variant) *)
+  mutable synced : int;
+  mutable locksteps : int;
+  mutable gap_sum : float;
+  mutable gap_count : int;
+  mutable gap_max : int;
+  mutable order_len : int;
+  mutable replays : int;
+  mutable pending_signals : (float * int) list; (* delivery time, handler idx *)
+  signal_handlers : Trace.t array;
+}
+
+let aborted nxe = nxe.failed <> None
+
+let fail nxe alert =
+  if nxe.failed = None then begin
+    nxe.failed <- Some alert;
+    let m = nxe.machine in
+    List.iter
+      (fun ch ->
+        M.Waitq.broadcast m ch.leader_q;
+        Array.iter (M.Waitq.broadcast m) ch.fol_q)
+      nxe.all_chans;
+    List.iter (fun d -> Array.iter (M.Waitq.broadcast m) d.d_qs) nxe.all_dets
+  end
+
+let get_chan nxe path =
+  match Hashtbl.find_opt nxe.chan_reg path with
+  | Some c -> c
+  | None ->
+    let nf = nxe.n - 1 in
+    let c =
+      {
+        ch_id = nxe.chan_count;
+        ch_path = path;
+        slots = Vec.create ();
+        leader_pos = 0;
+        leader_done = false;
+        cursors = Array.make nf 0;
+        fol_done = Array.make nf false;
+        leader_q = M.Waitq.create ();
+        fol_q = Array.init nf (fun _ -> M.Waitq.create ());
+      }
+    in
+    nxe.chan_count <- nxe.chan_count + 1;
+    nxe.all_chans <- c :: nxe.all_chans;
+    Hashtbl.replace nxe.chan_reg path c;
+    c
+
+let get_det nxe path =
+  match Hashtbl.find_opt nxe.det_reg path with
+  | Some d -> d
+  | None ->
+    let nf = nxe.n - 1 in
+    let d =
+      {
+        d_order = Vec.create ();
+        d_cursors = Array.make nf 0;
+        d_qs = Array.init nf (fun _ -> M.Waitq.create ());
+      }
+    in
+    nxe.all_dets <- d :: nxe.all_dets;
+    Hashtbl.replace nxe.det_reg path d;
+    d
+
+let get_counter nxe path variant id =
+  let tbl =
+    match Hashtbl.find_opt nxe.cnt_reg (path, variant) with
+    | Some t -> t
+    | None ->
+      let t = Hashtbl.create 4 in
+      Hashtbl.replace nxe.cnt_reg (path, variant) t;
+      t
+  in
+  match Hashtbl.find_opt tbl id with
+  | Some r -> r
+  | None ->
+    let r = ref 0L in
+    Hashtbl.replace tbl id r;
+    r
+
+let get_pth nxe path variant =
+  match Hashtbl.find_opt nxe.pth_reg (path, variant) with
+  | Some p -> p
+  | None ->
+    let p = Pthreads.create () in
+    Hashtbl.replace nxe.pth_reg (path, variant) p;
+    p
+
+let get_proc nxe path variant =
+  match Hashtbl.find_opt nxe.proc_reg (path, variant) with
+  | Some p -> p
+  | None ->
+    let p =
+      M.new_proc nxe.machine
+        ~cache_sensitivity:nxe.sensitivities.(variant)
+        ~name:(Printf.sprintf "%s:%s" nxe.names.(variant) path)
+        ~working_set:nxe.working_sets.(variant) ()
+    in
+    Hashtbl.replace nxe.proc_reg (path, variant) p;
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Syscall synchronization *)
+
+let live_followers chan =
+  Array.fold_left (fun acc d -> if d then acc else acc + 1) 0 chan.fol_done
+
+let min_live_cursor chan =
+  let best = ref max_int in
+  Array.iteri
+    (fun i c -> if (not chan.fol_done.(i)) && c < !best then best := c)
+    chan.cursors;
+  if !best = max_int then chan.leader_pos else !best
+
+let wake_followers nxe chan = Array.iter (M.Waitq.broadcast nxe.machine) chan.fol_q
+
+let leader_sync nxe chan sc =
+  let m = nxe.machine in
+  M.compute m nxe.cfg.checkin_cost;
+  let pos = chan.leader_pos in
+  Vec.push chan.slots { s_sc = sc; s_ready = false; s_arrived = 0 };
+  chan.leader_pos <- pos + 1;
+  nxe.synced <- nxe.synced + 1;
+  let gap = pos - min_live_cursor chan in
+  if Array.length chan.cursors > 0 then begin
+    nxe.gap_sum <- nxe.gap_sum +. float_of_int gap;
+    nxe.gap_count <- nxe.gap_count + 1;
+    if gap > nxe.gap_max then nxe.gap_max <- gap
+  end;
+  wake_followers nxe chan;
+  let slot = Vec.get chan.slots pos in
+  let lockstep = nxe.cfg.mode = Strict_lockstep || Sc.is_lockstep_selected sc in
+  let blocked = ref false in
+  if lockstep then begin
+    nxe.locksteps <- nxe.locksteps + 1;
+    (* Execute only after every live follower has arrived and agreed. *)
+    let rec wait_arrivals () =
+      if aborted nxe then ()
+      else begin
+        (* A follower that already exited can never arrive: sequence
+           divergence (it saw fewer syscalls than the leader). *)
+        Array.iteri
+          (fun i d ->
+            if d && chan.cursors.(i) <= pos then
+              fail nxe
+                {
+                  al_channel = chan.ch_id;
+                  al_position = pos;
+                  al_variant = i + 1;
+                  al_expected = sc.Sc.name;
+                  al_got = "<exit>";
+                })
+          chan.fol_done;
+        if (not (aborted nxe)) && slot.s_arrived < live_followers chan then begin
+          blocked := true;
+          M.Waitq.wait m chan.leader_q;
+          wait_arrivals ()
+        end
+      end
+    in
+    wait_arrivals ()
+  end
+  else begin
+    (* Ring buffer: run ahead up to capacity. *)
+    while (not (aborted nxe)) && chan.leader_pos - min_live_cursor chan > nxe.cfg.ring_capacity do
+      blocked := true;
+      M.Waitq.wait m chan.leader_q
+    done
+  end;
+  if !blocked && not (aborted nxe) then M.compute m nxe.cfg.resched_cost;
+  if not (aborted nxe) then begin
+    M.compute m (Sc.base_cost sc);
+    slot.s_ready <- true;
+    wake_followers nxe chan
+  end
+
+let rec follower_sync ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
+  let m = nxe.machine in
+  let i = variant - 1 in
+  let pos = chan.cursors.(i) in
+  let blocked_for_slot = ref false in
+  while (not (aborted nxe)) && chan.leader_pos <= pos && not chan.leader_done do
+    blocked_for_slot := true;
+    M.Waitq.wait m chan.fol_q.(i)
+  done;
+  if !blocked_for_slot && not (aborted nxe) then M.compute m nxe.cfg.resched_cost;
+  if aborted nxe then ()
+  else if
+    (* An asynchronous signal the leader took at this point: consume the
+       delivery slot, run the handler at the equivalent position, retry. *)
+    chan.leader_pos > pos
+    && (Vec.get chan.slots pos).s_sc.Sc.name = "signal_delivery"
+    && sc.Sc.name <> "signal_delivery"
+  then begin
+    let slot = Vec.get chan.slots pos in
+    slot.s_arrived <- slot.s_arrived + 1;
+    M.Waitq.signal m chan.leader_q;
+    while (not (aborted nxe)) && not slot.s_ready do
+      M.Waitq.wait m chan.fol_q.(i)
+    done;
+    if not (aborted nxe) then begin
+      M.compute m nxe.cfg.fetch_cost;
+      chan.cursors.(i) <- pos + 1;
+      M.Waitq.signal m chan.leader_q;
+      (match slot.s_sc.Sc.args with
+       | [ idx ] when Int64.to_int idx < Array.length nxe.signal_handlers ->
+         on_signal nxe.signal_handlers.(Int64.to_int idx)
+       | _ -> ());
+      follower_sync ~on_signal nxe chan ~variant sc
+    end
+  end
+  else if chan.leader_pos <= pos then
+    (* Leader exited; this variant issues an extra syscall. *)
+    fail nxe
+      {
+        al_channel = chan.ch_id;
+        al_position = pos;
+        al_variant = variant;
+        al_expected = "<exit>";
+        al_got = sc.Sc.name;
+      }
+  else begin
+    let slot = Vec.get chan.slots pos in
+    if not (Sc.args_match slot.s_sc sc) then
+      fail nxe
+        {
+          al_channel = chan.ch_id;
+          al_position = pos;
+          al_variant = variant;
+          al_expected = Format.asprintf "%a" Sc.pp slot.s_sc;
+          al_got = Format.asprintf "%a" Sc.pp sc;
+        }
+    else begin
+      slot.s_arrived <- slot.s_arrived + 1;
+      M.Waitq.signal m chan.leader_q;
+      let blocked = ref false in
+      while (not (aborted nxe)) && not slot.s_ready do
+        blocked := true;
+        M.Waitq.wait m chan.fol_q.(i)
+      done;
+      if not (aborted nxe) then begin
+        M.compute m (if !blocked then nxe.cfg.fetch_cost +. nxe.cfg.resched_cost
+                     else nxe.cfg.fetch_cost);
+        chan.cursors.(i) <- pos + 1;
+        M.Waitq.signal m chan.leader_q
+      end
+    end
+  end
+
+(* Shared-memory propagation: like follower_sync, but the slot carries
+   content to adopt rather than arguments to compare. *)
+let follower_shared_fetch nxe chan ~variant ~pos dst =
+  let m = nxe.machine in
+  let i = variant - 1 in
+  let blocked = ref false in
+  while (not (aborted nxe)) && chan.leader_pos <= pos && not chan.leader_done do
+    blocked := true;
+    M.Waitq.wait m chan.fol_q.(i)
+  done;
+  if aborted nxe then ()
+  else if chan.leader_pos <= pos then
+    fail nxe
+      {
+        al_channel = chan.ch_id;
+        al_position = pos;
+        al_variant = variant;
+        al_expected = "<exit>";
+        al_got = "shared-memory access";
+      }
+  else begin
+    let slot = Vec.get chan.slots pos in
+    (match slot.s_sc.Sc.args with
+     | [ _; content ] -> dst := content
+     | _ ->
+       fail nxe
+         {
+           al_channel = chan.ch_id;
+           al_position = pos;
+           al_variant = variant;
+           al_expected = Format.asprintf "%a" Sc.pp slot.s_sc;
+           al_got = "shared-memory access";
+         });
+    if not (aborted nxe) then begin
+      slot.s_arrived <- slot.s_arrived + 1;
+      M.Waitq.signal m chan.leader_q;
+      let blocked2 = ref !blocked in
+      while (not (aborted nxe)) && not slot.s_ready do
+        blocked2 := true;
+        M.Waitq.wait m chan.fol_q.(i)
+      done;
+      if not (aborted nxe) then begin
+        M.compute m
+          (if !blocked2 then nxe.cfg.fetch_cost +. nxe.cfg.resched_cost else nxe.cfg.fetch_cost);
+        chan.cursors.(i) <- pos + 1;
+        M.Waitq.signal m chan.leader_q
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Weak determinism: replay the leader's total order of locking-primitive
+   operations (the synccall protocol of §4.2). *)
+
+let det_order_op nxe det ~variant ~ltid =
+  if nxe.cfg.weak_determinism then begin
+    let m = nxe.machine in
+    M.compute m nxe.cfg.synccall_cost;
+    if variant = 0 then begin
+      Vec.push det.d_order ltid;
+      nxe.order_len <- nxe.order_len + 1;
+      Array.iter (M.Waitq.broadcast m) det.d_qs
+    end
+    else begin
+      let i = variant - 1 in
+      let my_turn () =
+        det.d_cursors.(i) < Vec.length det.d_order
+        && Vec.get det.d_order det.d_cursors.(i) = ltid
+      in
+      while (not (aborted nxe)) && not (my_turn ()) do
+        M.Waitq.wait m det.d_qs.(i)
+      done;
+      if not (aborted nxe) then begin
+        det.d_cursors.(i) <- det.d_cursors.(i) + 1;
+        nxe.replays <- nxe.replays + 1;
+        M.Waitq.broadcast m det.d_qs.(i)
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Asynchronous signals: the leader takes a signal at its next
+   synchronized syscall and publishes a delivery marker; followers run the
+   handler at the same logical position (the classic NVX delivery-point
+   problem, solved at sync points). *)
+
+let rec run_handler nxe ~variant ~chan ops =
+  let m = nxe.machine in
+  List.iter
+    (fun op ->
+      match op with
+      | Trace.Work w -> M.compute m w.cost
+      | Trace.Sys sc ->
+        if Sc.is_synchronized sc then do_sys nxe ~variant ~chan sc
+        else M.compute m (Sc.base_cost sc)
+      | _ -> () (* handlers are async-signal-safe: work and syscalls only *))
+    ops
+
+and deliver_due_signals nxe ~chan =
+  (* Root channel, leader side only. *)
+  if chan.ch_path = "c" then begin
+    let now = M.now nxe.machine in
+    match nxe.pending_signals with
+    | (t, idx) :: rest when t <= now ->
+      nxe.pending_signals <- rest;
+      leader_sync nxe chan (Sc.make ~args:[ Int64.of_int idx ] "signal_delivery");
+      if idx < Array.length nxe.signal_handlers then
+        run_handler nxe ~variant:0 ~chan nxe.signal_handlers.(idx);
+      deliver_due_signals nxe ~chan
+    | _ -> ()
+  end
+
+and do_sys nxe ~variant ~chan sc =
+  if variant = 0 then begin
+    deliver_due_signals nxe ~chan;
+    leader_sync nxe chan sc
+  end
+  else
+    follower_sync
+      ~on_signal:(fun ops -> run_handler nxe ~variant ~chan ops)
+      nxe chan ~variant sc
+
+(* ------------------------------------------------------------------ *)
+(* Thread executor *)
+
+let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () =
+  let m = nxe.machine in
+  let in_main = ref in_main_init in
+  let spawn_count = ref 0 in
+  let fork_count = ref 0 in
+  List.iter
+    (fun op ->
+      if not (aborted nxe) then
+        match op with
+        | Trace.Work w -> M.compute m w.cost
+        | Trace.Idle d -> M.sleep m d
+        | Trace.Marker Trace.Main_entered -> in_main := true
+        | Trace.Marker Trace.About_to_exit -> in_main := false
+        | Trace.Sys sc ->
+          if !in_main && Sc.is_synchronized sc then do_sys nxe ~variant ~chan sc
+          else M.compute m (Sc.base_cost sc)
+        | Trace.Incr id ->
+          (* An unguarded shared write: the interleaving across this
+             variant's threads decides the value later syscalls expose. *)
+          M.compute m 0.05;
+          let r = get_counter nxe ppath variant id in
+          r := Int64.add !r 1L
+        | Trace.Sys_shared (sc, id) ->
+          let v = !(get_counter nxe ppath variant id) in
+          let sc = Sc.make ~args:(sc.Sc.args @ [ v ]) sc.Sc.name in
+          if !in_main && Sc.is_synchronized sc then do_sys nxe ~variant ~chan sc
+          else M.compute m (Sc.base_cost sc)
+        | Trace.Shared_read { region; counter } ->
+          (* §3.3 shared-memory access: only the leader's mapping is
+             written by the outside world.  With propagation on, the access
+             faults on the poisoned shadow page and the content is copied
+             leader -> followers like a syscall result; otherwise the
+             follower reads its stale local copy. *)
+          M.compute m 2.0 (* page-fault / access cost *);
+          let dst = get_counter nxe ppath variant counter in
+          if variant = 0 then begin
+            let reads = get_counter nxe ppath variant (1000 + region) in
+            reads := Int64.add !reads 1L;
+            let world = Int64.add (Int64.mul !reads 7L) (Int64.of_int region) in
+            dst := world;
+            if nxe.cfg.sync_shared_memory then
+              leader_sync nxe chan (Sc.make ~args:[ Int64.of_int region; world ] "synccall")
+          end
+          else if nxe.cfg.sync_shared_memory then begin
+            (* Consume the leader's slot; adopt its content instead of
+               comparing (the local stale value legitimately differs). *)
+            let pos = chan.cursors.(variant - 1) in
+            follower_shared_fetch nxe chan ~variant ~pos dst
+          end
+          else dst := 0L (* stale local copy *)
+        | Trace.Lock id ->
+          det_order_op nxe det ~variant ~ltid:chan.ch_path;
+          Pthreads.lock m pth id
+        | Trace.Unlock id -> Pthreads.unlock m pth id
+        | Trace.Barrier (id, expected) ->
+          det_order_op nxe det ~variant ~ltid:chan.ch_path;
+          Pthreads.barrier m pth id expected
+        | Trace.Spawn sub ->
+          let k = !spawn_count in
+          incr spawn_count;
+          M.compute m (Sc.base_cost (Sc.clone_thread ()));
+          let child = get_chan nxe (Printf.sprintf "%s/s%d" chan.ch_path k) in
+          ignore
+            (M.spawn m proc ~name:(Printf.sprintf "%s:t%s" nxe.names.(variant) child.ch_path)
+               (exec_ops nxe ~variant ~chan:child ~ppath ~proc ~pth ~det
+                  ~in_main_init:!in_main sub))
+        | Trace.Fork sub ->
+          let k = !fork_count in
+          incr fork_count;
+          M.compute m (Sc.base_cost (Sc.fork ()));
+          (* The child of the leader becomes the leader of the new execution
+             group; followers' children become its followers (§3.3). *)
+          let cpath = Printf.sprintf "%s/f%d" ppath k in
+          let cproc = get_proc nxe cpath variant in
+          let cchan = get_chan nxe (Printf.sprintf "%s/f%d" chan.ch_path k) in
+          let cpth = get_pth nxe cpath variant in
+          let cdet = get_det nxe cpath in
+          ignore
+            (M.spawn m cproc ~name:(Printf.sprintf "%s:p%s" nxe.names.(variant) cpath)
+               (exec_ops nxe ~variant ~chan:cchan ~ppath:cpath ~proc:cproc ~pth:cpth ~det:cdet
+                  ~in_main_init:!in_main sub)))
+    ops;
+  (* Thread exit: channel end-of-stream bookkeeping. *)
+  if variant = 0 then begin
+    chan.leader_done <- true;
+    wake_followers nxe chan
+  end
+  else begin
+    chan.fol_done.(variant - 1) <- true;
+    M.Waitq.signal m chan.leader_q
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_sets
+    ?sensitivities ?(signals = []) ~names traces =
+  let n = List.length traces in
+  if n < 1 then invalid_arg "Nxe.run_traces: need at least one variant";
+  if List.length names <> n then invalid_arg "Nxe.run_traces: names/traces length mismatch";
+  let working_sets =
+    match working_sets with
+    | Some ws ->
+      if List.length ws <> n then invalid_arg "Nxe.run_traces: working_sets length mismatch";
+      Array.of_list ws
+    | None -> Array.make n 1.0
+  in
+  let sensitivities =
+    match sensitivities with
+    | Some ss ->
+      if List.length ss <> n then invalid_arg "Nxe.run_traces: sensitivities length mismatch";
+      Array.of_list ss
+    | None -> Array.make n 1.0
+  in
+  let machine =
+    match machine_config with Some c -> M.create ~config:c () | None -> M.create ()
+  in
+  (match on_machine with Some hook -> hook machine | None -> ());
+  let nxe =
+    {
+      cfg = config;
+      n;
+      machine;
+      working_sets;
+      sensitivities;
+      names = Array.of_list names;
+      failed = None;
+      chan_count = 0;
+      all_chans = [];
+      all_dets = [];
+      chan_reg = Hashtbl.create 16;
+      det_reg = Hashtbl.create 8;
+      pth_reg = Hashtbl.create 8;
+      cnt_reg = Hashtbl.create 8;
+      proc_reg = Hashtbl.create 8;
+      synced = 0;
+      locksteps = 0;
+      gap_sum = 0.0;
+      gap_count = 0;
+      gap_max = 0;
+      order_len = 0;
+      replays = 0;
+      pending_signals =
+        List.mapi (fun i (t, _) -> (t, i)) (List.sort compare signals);
+      signal_handlers = Array.of_list (List.map snd (List.sort compare signals));
+    }
+  in
+  let root_chan = get_chan nxe "c" in
+  let root_det = get_det nxe "root" in
+  List.iteri
+    (fun variant trace ->
+      let proc = get_proc nxe "root" variant in
+      let pth = get_pth nxe "root" variant in
+      let has_marker =
+        List.exists (function Trace.Marker Trace.Main_entered -> true | _ -> false) trace
+      in
+      ignore
+        (M.spawn machine proc
+           ~name:(Printf.sprintf "%s:main" nxe.names.(variant))
+           (exec_ops nxe ~variant ~chan:root_chan ~ppath:"root" ~proc ~pth ~det:root_det
+              ~in_main_init:(not has_marker) trace)))
+    traces;
+  (match M.run machine with
+   | () -> ()
+   | exception M.Deadlock msg ->
+     (* After an abort, threads stuck on application locks are "killed" by
+        the monitor; any other deadlock is a real bug. *)
+     if not (aborted nxe) then raise (M.Deadlock msg));
+  let variant_finish =
+    List.init n (fun v ->
+        Hashtbl.fold
+          (fun (_, v') proc acc ->
+            if v' = v then Float.max acc (M.proc_finish_time machine proc) else acc)
+          nxe.proc_reg 0.0)
+  in
+  let variant_cpu =
+    List.init n (fun v ->
+        Hashtbl.fold
+          (fun (_, v') proc acc ->
+            if v' = v then acc +. M.proc_cpu_time machine proc else acc)
+          nxe.proc_reg 0.0)
+  in
+  {
+    outcome = (match nxe.failed with None -> `All_finished | Some a -> `Aborted a);
+    total_time = (M.stats machine).M.total_time;
+    variant_finish;
+    variant_cpu;
+    synced_syscalls = nxe.synced;
+    lockstep_syscalls = nxe.locksteps;
+    avg_syscall_gap =
+      (if nxe.gap_count = 0 then 0.0 else nxe.gap_sum /. float_of_int nxe.gap_count);
+    max_syscall_gap = nxe.gap_max;
+    order_list_length = nxe.order_len;
+    det_replays = nxe.replays;
+    channels = nxe.chan_count;
+    machine_stats = M.stats machine;
+  }
+
+let run_builds ?config ?machine_config ?on_machine ?(jitter = 0.0) ~seed builds =
+  (* Per-variant compute skew: diversified binaries (distinct code layout,
+     ASLR, different checks) never run cycle-identical.  The skew is
+     systematic per (variant, function) — a function whose cache layout is
+     unlucky in one variant stays slower there — which is what makes
+     lockstep waits real.  Syscall sequences are untouched. *)
+  let jitter_trace variant trace =
+    if jitter <= 0.0 then trace
+    else begin
+      let factors : (string, float) Hashtbl.t = Hashtbl.create 64 in
+      let factor func =
+        match Hashtbl.find_opt factors func with
+        | Some f -> f
+        | None ->
+          let h = Hashtbl.hash (seed, variant, func) in
+          let rng = Bunshin_util.Rng.create h in
+          let f = Bunshin_util.Rng.float_in rng (1.0 -. jitter) (1.0 +. jitter) in
+          Hashtbl.replace factors func f;
+          f
+      in
+      Trace.map_cost (fun func cost -> cost *. factor func) trace
+    end
+  in
+  let traces = List.mapi (fun i b -> jitter_trace i (Program.build_trace b ~seed)) builds in
+  let working_sets = List.map Program.build_working_set builds in
+  let sensitivities =
+    List.map (fun b -> 1.0 /. (1.0 +. Program.overhead_of_build b)) builds
+  in
+  let names =
+    List.mapi
+      (fun i b -> Printf.sprintf "v%d-%s" i b.Program.prog.Program.name)
+      builds
+  in
+  run_traces ?config ?machine_config ?on_machine ~working_sets ~sensitivities ~names traces

@@ -1,0 +1,108 @@
+(** The N-version execution engine (§3.3, §4.2).
+
+    Runs N program variants in parallel on the simulated machine and makes
+    them behave as a single instance:
+
+    - {b Syscall synchronization}: the leader (variant 0) executes each
+      synchronized syscall and publishes arguments + results into a shared
+      per-channel slot stream; followers compare their own arguments and
+      consume results instead of executing.  In {e strict lockstep} the
+      leader executes a syscall only after every follower has arrived and
+      agreed; in {e selective lockstep} the leader runs ahead through a
+      bounded ring buffer, except for the selected (IO-write) syscalls,
+      which always lockstep (Figure 2).
+    - {b Divergence detection}: argument or sequence mismatch aborts all
+      variants and raises an alert (the variant monitor's job).
+    - {b Execution groups}: each fork creates a new group whose child of
+      the leader is the new leader (§3.3); each spawned thread gets its own
+      syscall channel so scheduler interleaving cannot produce false
+      positives.
+    - {b Weak determinism}: followers replay the leader's total order of
+      pthreads lock acquisitions and barrier arrivals, Kendo-style, via the
+      modelled [synccall] (§4.2).
+    - {b Sanitizer-introduced syscalls}: synchronization starts at
+      [Main_entered], stops at [About_to_exit], and memory-management
+      syscalls are never compared, so variants hardened differently do not
+      trip false alerts. *)
+
+module M := Bunshin_machine.Machine
+
+type mode = Strict_lockstep | Selective_lockstep
+
+type config = {
+  mode : mode;
+  ring_capacity : int;      (** slots a leader may run ahead (selective) *)
+  checkin_cost : float;     (** us to publish args/results into a slot *)
+  fetch_cost : float;       (** us for a follower to consume a slot *)
+  synccall_cost : float;    (** us per weak-determinism ordering operation *)
+  resched_cost : float;     (** futex sleep/wake + scheduler latency, paid
+                                whenever a party actually blocks at a sync
+                                point — the strict-mode "scheduled in and
+                                out" cost (§3.3) *)
+  weak_determinism : bool;  (** replay leader's lock order in followers *)
+  sync_shared_memory : bool;
+      (** §3.3's poisoned-page mechanism: copy externally-shared mapped
+          content from the leader to followers on access *)
+}
+
+val default_config : config
+(** Strict lockstep, 64-slot ring, sub-microsecond slot costs. *)
+
+val selective : config
+(** [default_config] with [mode = Selective_lockstep]. *)
+
+type alert = {
+  al_channel : int;    (** syscall channel (execution-group stream) *)
+  al_position : int;   (** index in the channel's syscall stream *)
+  al_variant : int;    (** follower that diverged *)
+  al_expected : string;
+  al_got : string;
+}
+
+type report = {
+  outcome : [ `All_finished | `Aborted of alert ];
+  total_time : float;           (** machine time until the last variant exits *)
+  variant_finish : float list;  (** per-variant finish times *)
+  variant_cpu : float list;     (** per-variant CPU consumed (incl. sync work) *)
+  synced_syscalls : int;        (** syscalls that went through a channel *)
+  lockstep_syscalls : int;      (** of those, how many locksteped *)
+  avg_syscall_gap : float;      (** mean leader-to-slowest-follower distance,
+                                    sampled at each leader publish (§5.3) *)
+  max_syscall_gap : int;
+  order_list_length : int;      (** weak-determinism operations recorded *)
+  det_replays : int;            (** follower lock-order replays performed *)
+  channels : int;               (** syscall channels (execution-group streams) *)
+  machine_stats : M.stats;
+}
+
+val run_traces :
+  ?config:config ->
+  ?machine_config:M.config ->
+  ?on_machine:(M.t -> unit) ->
+  ?working_sets:float list ->
+  ?sensitivities:float list ->
+  ?signals:(float * Bunshin_program.Trace.t) list ->
+  names:string list ->
+  Bunshin_program.Trace.t list ->
+  report
+(** Synchronize N traces (index 0 is the leader).  [working_sets] defaults
+    to 1.0 each; [sensitivities] are the per-variant cache sensitivities
+    (see {!M.new_proc}); [names] label the machine processes.  [on_machine]
+    runs right after machine creation — e.g. to attach background load.
+    [signals] are asynchronous deliveries [(time, handler trace)]: the
+    leader takes each at its next synchronized syscall and every follower
+    runs the handler at the same logical position. *)
+
+val run_builds :
+  ?config:config ->
+  ?machine_config:M.config ->
+  ?on_machine:(M.t -> unit) ->
+  ?jitter:float ->
+  seed:int ->
+  Bunshin_program.Program.build list ->
+  report
+(** Generate each build's trace (same seed, hence synchronizable syscall
+    streams) and run them under the engine.  [jitter] (default 0) applies a
+    per-variant multiplicative compute skew of up to the given fraction —
+    diversified binaries never run cycle-identical, and this skew is what
+    lockstep synchronization actually waits on. *)

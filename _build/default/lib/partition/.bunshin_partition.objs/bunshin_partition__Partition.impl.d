@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Array Float List

@@ -1,0 +1,218 @@
+type item = { label : string; weight : float }
+
+type result = { bins : item list array; loads : float array }
+
+let result_of_bins bins =
+  {
+    bins;
+    loads = Array.map (fun items -> List.fold_left (fun a i -> a +. i.weight) 0.0 items) bins;
+  }
+
+let makespan r = Array.fold_left Float.max 0.0 r.loads
+
+let imbalance r =
+  let total = Array.fold_left ( +. ) 0.0 r.loads in
+  let n = Array.length r.loads in
+  if n = 0 then 0.0
+  else
+    let avg = total /. float_of_int n in
+    Array.fold_left (fun acc l -> acc +. Float.abs (l -. avg)) 0.0 r.loads
+
+let valid items r =
+  let key i = (i.label, i.weight) in
+  let sort l = List.sort compare (List.map key l) in
+  sort items = sort (List.concat (Array.to_list r.bins))
+
+(* Deterministic descending order; labels break weight ties. *)
+let sorted_desc items =
+  List.sort (fun a b -> match compare b.weight a.weight with 0 -> compare a.label b.label | c -> c)
+    items
+
+let check_n n = if n < 1 then invalid_arg "Partition: need at least one bin"
+
+let lpt n items =
+  check_n n;
+  let bins = Array.make n [] in
+  let loads = Array.make n 0.0 in
+  List.iter
+    (fun item ->
+      let lightest = ref 0 in
+      for i = 1 to n - 1 do
+        if loads.(i) < loads.(!lightest) then lightest := i
+      done;
+      bins.(!lightest) <- item :: bins.(!lightest);
+      loads.(!lightest) <- loads.(!lightest) +. item.weight)
+    (sorted_desc items);
+  result_of_bins (Array.map List.rev bins)
+
+let round_robin n items =
+  check_n n;
+  let bins = Array.make n [] in
+  List.iteri (fun idx item -> bins.(idx mod n) <- item :: bins.(idx mod n)) items;
+  result_of_bins (Array.map List.rev bins)
+
+(* --------------------------------------------------------------- *)
+(* Multiway Karmarkar-Karp differencing.
+
+   A partial solution is an array of (load, items) pairs sorted by
+   descending load.  Merging two solutions pairs the heaviest loads of one
+   with the lightest of the other, cancelling their difference. *)
+
+type partial = { loads_desc : (float * item list) array }
+
+let spread p =
+  let n = Array.length p.loads_desc in
+  fst p.loads_desc.(0) -. fst p.loads_desc.(n - 1)
+
+let merge a b =
+  let n = Array.length a.loads_desc in
+  let combined =
+    Array.init n (fun i ->
+        let la, ia = a.loads_desc.(i) in
+        let lb, ib = b.loads_desc.(n - 1 - i) in
+        (la +. lb, ia @ ib))
+  in
+  Array.sort (fun (x, _) (y, _) -> compare y x) combined;
+  { loads_desc = combined }
+
+let karmarkar_karp n items =
+  check_n n;
+  match items with
+  | [] -> result_of_bins (Array.make n [])
+  | _ ->
+    let singleton item =
+      let arr = Array.make n (0.0, []) in
+      arr.(0) <- (item.weight, [ item ]);
+      { loads_desc = arr }
+    in
+    (* Work list kept sorted by descending spread. *)
+    let insert_sorted p l =
+      let rec go = function
+        | [] -> [ p ]
+        | q :: rest as all -> if spread p >= spread q then p :: all else q :: go rest
+      in
+      go l
+    in
+    let initial =
+      List.fold_left (fun acc it -> insert_sorted (singleton it) acc) [] (sorted_desc items)
+    in
+    let rec reduce = function
+      | [] -> invalid_arg "Partition.karmarkar_karp: impossible empty state"
+      | [ p ] -> p
+      | a :: b :: rest -> reduce (insert_sorted (merge a b) rest)
+    in
+    let final = reduce initial in
+    result_of_bins (Array.map snd final.loads_desc)
+
+(* --------------------------------------------------------------- *)
+(* Exact branch-and-bound, for small instances. *)
+
+let exact n items =
+  check_n n;
+  if List.length items > 20 then invalid_arg "Partition.exact: too many items (max 20)";
+  let items = Array.of_list (sorted_desc items) in
+  let k = Array.length items in
+  let best_loads = ref (Array.make n infinity) in
+  let best_assign = ref [||] in
+  let best_makespan = ref infinity in
+  let loads = Array.make n 0.0 in
+  let assign = Array.make k 0 in
+  let rec go idx =
+    if idx = k then begin
+      let ms = Array.fold_left Float.max 0.0 loads in
+      if ms < !best_makespan then begin
+        best_makespan := ms;
+        best_loads := Array.copy loads;
+        best_assign := Array.copy assign
+      end
+    end
+    else begin
+      let tried_empty = ref false in
+      for b = 0 to n - 1 do
+        let empty = loads.(b) = 0.0 in
+        (* Symmetry breaking: identical empty bins need one try. *)
+        if (not empty) || not !tried_empty then begin
+          if empty then tried_empty := true;
+          if loads.(b) +. items.(idx).weight < !best_makespan then begin
+            loads.(b) <- loads.(b) +. items.(idx).weight;
+            assign.(idx) <- b;
+            go (idx + 1);
+            loads.(b) <- loads.(b) -. items.(idx).weight
+          end
+        end
+      done
+    end
+  in
+  go 0;
+  let bins = Array.make n [] in
+  Array.iteri (fun idx b -> bins.(b) <- items.(idx) :: bins.(b)) !best_assign;
+  result_of_bins (Array.map List.rev bins)
+
+(* --------------------------------------------------------------- *)
+(* Local-search polish: move items out of the heaviest bin while it helps. *)
+
+let improve r =
+  let bins = Array.map (fun l -> ref l) r.bins in
+  let load b = List.fold_left (fun a i -> a +. i.weight) 0.0 !(bins.(b)) in
+  let n = Array.length bins in
+  let improved = ref true in
+  let guard = ref 0 in
+  while !improved && !guard < 1000 do
+    improved := false;
+    incr guard;
+    (* Find heaviest and lightest bins. *)
+    let hi = ref 0 and lo = ref 0 in
+    for i = 1 to n - 1 do
+      if load i > load !hi then hi := i;
+      if load i < load !lo then lo := i
+    done;
+    if !hi <> !lo then begin
+      let lh = load !hi and ll = load !lo in
+      (* Moving item w from hi to lo helps iff w < lh - ll. *)
+      let candidate =
+        List.find_opt (fun it -> it.weight > 0.0 && it.weight < lh -. ll) !(bins.(!hi))
+      in
+      match candidate with
+      | Some it ->
+        bins.(!hi) := List.filter (fun x -> x != it) !(bins.(!hi));
+        bins.(!lo) := it :: !(bins.(!lo));
+        improved := true
+      | None ->
+        (* No single move helps: try swapping an item of the heaviest bin
+           with a lighter item elsewhere (shrinks the makespan when
+           0 < wa - wb < lh - lother). *)
+        let try_swap () =
+          let found = ref false in
+          for other = 0 to n - 1 do
+            if (not !found) && other <> !hi then begin
+              let lother = load other in
+              List.iter
+                (fun a ->
+                  if not !found then
+                    List.iter
+                      (fun b ->
+                        if
+                          (not !found)
+                          && a.weight -. b.weight > 1e-12
+                          && a.weight -. b.weight < lh -. lother
+                        then begin
+                          bins.(!hi) := b :: List.filter (fun x -> x != a) !(bins.(!hi));
+                          bins.(other) := a :: List.filter (fun x -> x != b) !(bins.(other));
+                          found := true
+                        end)
+                      !(bins.(other)))
+                !(bins.(!hi))
+            end
+          done;
+          !found
+        in
+        if try_swap () then improved := true
+    end
+  done;
+  result_of_bins (Array.map (fun r -> !r) bins)
+
+let best n items =
+  let kk = karmarkar_karp n items in
+  let polished = improve kk in
+  let greedy = lpt n items in
+  if makespan polished <= makespan greedy then polished else greedy

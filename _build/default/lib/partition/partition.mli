@@ -1,0 +1,46 @@
+(** Multiway number partitioning: the overhead-distribution algorithm.
+
+    The variant generator must split protection units (functions for check
+    distribution, sub-sanitizers for sanitizer distribution) into N groups
+    whose overhead sums are as equal as possible — Equation 4 of the
+    appendix.  Optimal N-way partitioning is NP-complete, so Bunshin uses a
+    fast near-optimal algorithm; this module provides the production
+    algorithm (Karmarkar-Karp differencing with an LPT fallback) plus
+    baselines and an exact solver for ablation. *)
+
+type item = { label : string; weight : float }
+
+type result = {
+  bins : item list array;  (** the N groups; every input item appears once *)
+  loads : float array;     (** sum of weights per group *)
+}
+
+val lpt : int -> item list -> result
+(** Greedy longest-processing-time: sort descending, place each item in the
+    currently lightest bin.  4/3-approximation for makespan. *)
+
+val round_robin : int -> item list -> result
+(** Naive baseline: deal items out in input order. *)
+
+val karmarkar_karp : int -> item list -> result
+(** Multiway differencing method: repeatedly merge the two partial
+    solutions with the largest spread, pairing heavy loads with light
+    ones.  Near-optimal in practice, polynomial time. *)
+
+val exact : int -> item list -> result
+(** Branch-and-bound over all assignments.  Exponential; intended for
+    item counts up to ~15 (ablation reference).
+    @raise Invalid_argument beyond 20 items. *)
+
+val best : int -> item list -> result
+(** The production choice: Karmarkar-Karp followed by a single local-search
+    improvement pass (item moves that reduce the makespan). *)
+
+val makespan : result -> float
+(** Max load — the term that bounds N-version end-to-end slowdown. *)
+
+val imbalance : result -> float
+(** Equation 4: sum over bins of |load - total/N|. *)
+
+val valid : item list -> result -> bool
+(** Every item placed exactly once (multiset equality). *)

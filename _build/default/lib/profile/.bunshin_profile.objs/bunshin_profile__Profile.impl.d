@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Buffer Bunshin_machine Bunshin_program Bunshin_syscall Bunshin_util Float Hashtbl Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Bunshin_machine Bunshin_program

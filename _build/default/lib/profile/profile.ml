@@ -1,0 +1,131 @@
+module M = Bunshin_machine.Machine
+module Sc = Bunshin_syscall.Syscall
+module Trace = Bunshin_program.Trace
+module Program = Bunshin_program.Program
+
+module Pthreads = Bunshin_machine.Pthreads
+
+type t = { prog_name : string; total_time : float; by_func : (string * float) list }
+
+let exec_build m build ~seed =
+  let trace = Program.build_trace build ~seed in
+  let sens = 1.0 /. (1.0 +. Program.overhead_of_build build) in
+  let proc =
+    M.new_proc m ~cache_sensitivity:sens ~name:build.Program.prog.Program.name
+      ~working_set:(Program.build_working_set build) ()
+  in
+  let st = Pthreads.create () in
+  let counters : (int, int64 ref) Hashtbl.t = Hashtbl.create 4 in
+  let counter id =
+    match Hashtbl.find_opt counters id with
+    | Some r -> r
+    | None ->
+      let r = ref 0L in
+      Hashtbl.replace counters id r;
+      r
+  in
+  let rec run_ops ops () =
+    List.iter
+      (fun op ->
+        match op with
+        | Trace.Work w -> M.compute m w.cost
+        | Trace.Idle d -> M.sleep m d
+        | Trace.Sys sc -> M.compute m (Sc.base_cost sc)
+        | Trace.Lock id -> Pthreads.lock m st id
+        | Trace.Unlock id -> Pthreads.unlock m st id
+        | Trace.Incr id ->
+          let r = counter id in
+          r := Int64.add !r 1L;
+          M.compute m 0.05
+        | Trace.Sys_shared (sc, id) ->
+          ignore (Sc.make ~args:(sc.Sc.args @ [ !(counter id) ]) sc.Sc.name);
+          M.compute m (Sc.base_cost sc)
+        | Trace.Shared_read { region; counter = c } ->
+          (* Solo runs own the real mapping: the world value is visible. *)
+          let r = counter c in
+          let reads = counter (1000 + region) in
+          reads := Int64.add !reads 1L;
+          r := Int64.add (Int64.mul !reads 7L) (Int64.of_int region);
+          M.compute m 2.0
+        | Trace.Barrier (id, expected) -> Pthreads.barrier m st id expected
+        | Trace.Spawn sub -> ignore (M.spawn m proc ~name:"thread" (run_ops sub))
+        | Trace.Fork sub ->
+          (* Without an NXE there is no execution-group bookkeeping: the
+             child is simply a thread of a new process. *)
+          let child =
+            M.new_proc m ~cache_sensitivity:sens
+              ~name:(build.Program.prog.Program.name ^ ".child")
+              ~working_set:(Program.build_working_set build) ()
+          in
+          ignore (M.spawn m child ~name:"child" (run_ops sub))
+        | Trace.Marker _ -> ())
+      ops
+  in
+  ignore (M.spawn m proc ~name:"main" (run_ops trace));
+  proc
+
+let measure ?machine_config build ~seed =
+  let m =
+    match machine_config with
+    | Some config -> M.create ~config ()
+    | None -> M.create ()
+  in
+  ignore (exec_build m build ~seed);
+  M.run m;
+  let trace = Program.build_trace build ~seed in
+  {
+    prog_name = build.Program.prog.Program.name;
+    total_time = (M.stats m).M.total_time;
+    by_func = Trace.work_by_func trace;
+  }
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "program\t%s\n" t.prog_name);
+  Buffer.add_string buf (Printf.sprintf "total\t%.6f\n" t.total_time);
+  List.iter
+    (fun (f, v) -> Buffer.add_string buf (Printf.sprintf "func\t%s\t%.6f\n" f v))
+    t.by_func;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let prog_name = ref None and total = ref None and funcs = ref [] in
+  let bad line = Error (Printf.sprintf "Profile.of_string: malformed line %S" line) in
+  let rec parse = function
+    | [] | [ "" ] -> (
+      match (!prog_name, !total) with
+      | Some p, Some t ->
+        Ok { prog_name = p; total_time = t; by_func = List.rev !funcs }
+      | _ -> Error "Profile.of_string: missing program/total header")
+    | line :: rest -> (
+      match String.split_on_char '\t' line with
+      | [ "program"; p ] ->
+        prog_name := Some p;
+        parse rest
+      | [ "total"; v ] -> (
+        match float_of_string_opt v with
+        | Some f ->
+          total := Some f;
+          parse rest
+        | None -> bad line)
+      | [ "func"; f; v ] -> (
+        match float_of_string_opt v with
+        | Some fv ->
+          funcs := (f, fv) :: !funcs;
+          parse rest
+        | None -> bad line)
+      | _ -> bad line)
+  in
+  parse lines
+
+let overhead_by_func ~baseline ~instrumented =
+  let base = baseline.by_func in
+  List.map
+    (fun (fname, cost) ->
+      let b = Option.value ~default:0.0 (List.assoc_opt fname base) in
+      (fname, Float.max 0.0 (cost -. b)))
+    instrumented.by_func
+
+let total_overhead ~baseline ~instrumented =
+  Bunshin_util.Stats.overhead ~baseline:baseline.total_time ~measured:instrumented.total_time

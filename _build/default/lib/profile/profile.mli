@@ -1,0 +1,44 @@
+(** The profiler of Figure 1: run a build on the simulated machine under a
+    representative workload and measure where time goes.
+
+    Per-function times come from the performance counters the generator
+    plants at function granularity (§4.1); end-to-end time comes from the
+    machine clock, so it includes scheduling, syscall service and cache
+    effects.  Comparing an instrumented profile against the baseline
+    profile yields the overhead profile that drives partitioning. *)
+
+type t = {
+  prog_name : string;
+  total_time : float;             (** machine wall time of the run, us *)
+  by_func : (string * float) list; (** per-function self time, us *)
+}
+
+val measure :
+  ?machine_config:Bunshin_machine.Machine.config -> Bunshin_program.Program.build ->
+  seed:int -> t
+(** Execute the build's trace (threads, locks, syscalls and all) on a fresh
+    machine and collect its profile. *)
+
+val overhead_by_func : baseline:t -> instrumented:t -> (string * float) list
+(** The overhead profile: per-function extra time, clamped at 0. *)
+
+val total_overhead : baseline:t -> instrumented:t -> float
+(** End-to-end slowdown fraction. *)
+
+(** {1 Serialization} — profiles are build artifacts (Figure 1): save them
+    after a train run, reload for variant generation. *)
+
+val to_string : t -> string
+(** Stable tab-separated text form. *)
+
+val of_string : string -> (t, string) result
+(** Parse {!to_string} output. *)
+
+(** {1 Trace executor} — also used directly by tests and examples. *)
+
+val exec_build :
+  Bunshin_machine.Machine.t -> Bunshin_program.Program.build -> seed:int ->
+  Bunshin_machine.Machine.proc
+(** Spawn the build's trace onto an existing machine (threads, locks,
+    barriers, syscall service costs — no NXE synchronization) and return
+    its process handle.  Call [Machine.run] afterwards. *)

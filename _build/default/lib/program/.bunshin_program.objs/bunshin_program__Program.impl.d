@@ -1,0 +1,1 @@
+lib/program/program.ml: Bunshin_sanitizer Bunshin_syscall Bunshin_util Hashtbl List Printf String Trace

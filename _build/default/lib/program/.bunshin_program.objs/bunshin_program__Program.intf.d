@@ -1,0 +1,1 @@
+lib/program/program.mli: Bunshin_sanitizer Bunshin_util Trace

@@ -1,0 +1,1 @@
+lib/program/trace.ml: Bunshin_syscall Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/program/trace.mli: Bunshin_syscall

@@ -1,0 +1,73 @@
+(** Program models: a named program, its functions with instruction-mix
+    profiles, and a workload (trace generator).
+
+    A {!build} is "the program compiled in a particular way": which
+    sanitizers are linked in, and — for check distribution — which functions
+    keep their checks.  {!build_trace} turns a build into the concrete trace
+    a variant executes: check costs inflate Work ops of selected functions,
+    residual (metadata) cost inflates every Work op, and the sanitizer
+    runtime's own syscalls are woven in at the three phases of §3.3. *)
+
+module Cost := Bunshin_sanitizer.Cost_model
+module San := Bunshin_sanitizer.Sanitizer
+
+type func = { fn_name : string; fn_profile : Cost.code_profile }
+
+type t = {
+  name : string;
+  funcs : func list;
+  working_set : float;     (** LLC footprint, machine cache-model units *)
+  gen_trace : Bunshin_util.Rng.t -> Trace.t;
+      (** the workload: deterministic given the generator state *)
+}
+
+val find_func : t -> string -> func option
+
+type build = {
+  prog : t;
+  sanitizers : San.t list;
+  checked_funcs : string list option;
+      (** [None]: checks everywhere (normal sanitizer build);
+          [Some us]: checks kept only in the listed units (a
+          check-distribution variant) *)
+  block_split : int;
+      (** check-distribution granularity: 1 = whole functions (the paper's
+          prototype); k > 1 splits every function into k block groups and
+          [checked_funcs] entries take the form ["func#i"] with i < k — the
+          finer-grained distribution of §6 *)
+}
+
+val baseline : t -> build
+(** No sanitizers at all. *)
+
+val full : San.t list -> t -> build
+(** All listed sanitizers, checks everywhere.
+    @raise Invalid_argument if the set is not collectively enforceable. *)
+
+val variant : San.t list -> ?block_split:int -> checked:string list -> t -> build
+(** Check-distribution variant: sanitizers linked in, checks kept only in
+    [checked] (function names, or ["func#i"] block units when
+    [block_split] > 1). *)
+
+val block_unit : string -> int -> string
+(** [block_unit f i] is the unit name of function [f]'s i-th block group. *)
+
+val build_trace : build -> seed:int -> Trace.t
+(** Concrete trace of this build under its workload.  The same seed yields
+    behaviourally equivalent traces across builds of the same program
+    (identical syscall sequence inside main), so the NXE can synchronize
+    them; only costs and sanitizer-runtime syscalls differ. *)
+
+val build_working_set : build -> float
+(** LLC working set after shadow-memory inflation. *)
+
+val build_ram_overhead : build -> float
+(** Resident-memory inflation over baseline RSS, a fraction (§5.7): check
+    distribution cannot shrink it (ASan shadows the whole space in every
+    variant), but sanitizer distribution splits it, since each variant
+    links only its own group's runtimes. *)
+
+val overhead_of_build : build -> float
+(** Model-predicted slowdown of this build vs baseline on the typical
+    function mix of the program (used for quick estimates; the profiler
+    measures the real thing on the machine). *)

@@ -1,0 +1,59 @@
+module Sc = Bunshin_syscall.Syscall
+
+type marker = Main_entered | About_to_exit
+
+type op =
+  | Work of { func : string; cost : float }
+  | Idle of float
+  | Sys of Sc.t
+  | Lock of int
+  | Unlock of int
+  | Incr of int
+  | Sys_shared of Sc.t * int
+  | Shared_read of { region : int; counter : int }
+  | Barrier of int * int
+  | Spawn of t
+  | Fork of t
+  | Marker of marker
+
+and t = op list
+
+let rec fold f acc trace =
+  List.fold_left
+    (fun acc op ->
+      let acc = f acc op in
+      match op with Spawn sub | Fork sub -> fold f acc sub | _ -> acc)
+    acc trace
+
+let length t = fold (fun n _ -> n + 1) 0 t
+
+let total_work t =
+  fold (fun acc op -> match op with Work w -> acc +. w.cost | _ -> acc) 0.0 t
+
+let work_by_func t =
+  let tbl = Hashtbl.create 16 in
+  let add name cost =
+    Hashtbl.replace tbl name (cost +. Option.value ~default:0.0 (Hashtbl.find_opt tbl name))
+  in
+  fold (fun () op -> match op with Work w -> add w.func w.cost | _ -> ()) () t;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let syscall_count t =
+  fold (fun n op -> match op with Sys _ | Sys_shared _ -> n + 1 | _ -> n) 0 t
+
+let rec map_cost f t =
+  List.map
+    (fun op ->
+      match op with
+      | Work w -> Work { w with cost = f w.func w.cost }
+      | Spawn sub -> Spawn (map_cost f sub)
+      | Fork sub -> Fork (map_cost f sub)
+      | Idle _ | Sys _ | Sys_shared _ | Shared_read _ | Lock _ | Unlock _ | Incr _ | Barrier _ | Marker _ -> op)
+    t
+
+let scale k t = map_cost (fun _ c -> k *. c) t
+
+let concat = List.concat
+
+let functions t = List.map fst (work_by_func t)

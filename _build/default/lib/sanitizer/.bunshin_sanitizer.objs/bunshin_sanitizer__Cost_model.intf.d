@@ -1,0 +1,1 @@
+lib/sanitizer/cost_model.mli:

@@ -1,0 +1,1 @@
+lib/sanitizer/instrument.ml: Ast Bunshin_ir Hashtbl List Option Printf Runtime_api Sanitizer String

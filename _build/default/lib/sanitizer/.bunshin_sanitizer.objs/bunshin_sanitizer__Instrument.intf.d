@@ -1,0 +1,1 @@
+lib/sanitizer/instrument.mli: Ast Bunshin_ir Sanitizer

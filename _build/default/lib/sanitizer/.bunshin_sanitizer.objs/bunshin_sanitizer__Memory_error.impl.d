@@ -1,0 +1,1 @@
+lib/sanitizer/memory_error.ml: Bunshin_ir Format

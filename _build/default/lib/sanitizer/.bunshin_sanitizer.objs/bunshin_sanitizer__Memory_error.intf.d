@@ -1,0 +1,1 @@
+lib/sanitizer/memory_error.mli: Bunshin_ir Format

@@ -1,0 +1,1 @@
+lib/sanitizer/sanitizer.ml: Bunshin_syscall Cost_model Float Format List Memory_error

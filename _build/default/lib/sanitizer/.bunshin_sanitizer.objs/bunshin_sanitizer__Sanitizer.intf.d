@@ -1,0 +1,1 @@
+lib/sanitizer/sanitizer.mli: Bunshin_syscall Cost_model Format Memory_error

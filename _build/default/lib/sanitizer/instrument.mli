@@ -1,0 +1,39 @@
+(** IR instrumentation passes: compile a module "with sanitizers enabled".
+
+    For each access the sanitizer guards, the pass splits the basic block
+    and inserts exactly the shape the paper's check-discovery step looks
+    for (§4.1):
+
+    {v
+      %ok = call @__bunshin_bounds_ok(%p)     ; check condition
+      condbr %ok, %cont, %fail
+    fail:                                      ; sink block:
+      call @__asan_report_load()               ;   - branch target
+      unreachable                              ;   - report handler call
+    cont:                                      ;   - ends in unreachable
+      %v = load %p                             ; the guarded access
+    v}
+
+    Metadata-maintenance instructions (shadow bookkeeping) are inserted as
+    plain loads/stores of a module global — they involve neither report
+    handlers nor [unreachable], so check removal must leave them intact. *)
+
+open Bunshin_ir
+
+val apply :
+  Sanitizer.t list -> ?only:string list -> Ast.modul -> (Ast.modul, string) result
+(** Instrument a copy of the module with all given sanitizers.  [only]
+    restricts instrumentation to the named functions (used by check
+    distribution).  Fails when the set is not collectively enforceable —
+    the implementation-conflict case Bunshin exists to avoid. *)
+
+val apply_exn : Sanitizer.t list -> ?only:string list -> Ast.modul -> Ast.modul
+(** @raise Invalid_argument on conflict. *)
+
+val asan_metadata_global : string
+val msan_metadata_global : string
+
+val inserted_check_count : Ast.modul -> Ast.modul -> int
+(** [inserted_check_count baseline instrumented]: number of check sites
+    added (counted as report-handler sink blocks present in the second
+    module but not the first). *)

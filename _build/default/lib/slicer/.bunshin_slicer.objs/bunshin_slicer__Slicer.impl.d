@@ -1,0 +1,1 @@
+lib/slicer/slicer.ml: Ast Bunshin_ir Cfg Hashtbl List Option Runtime_api

@@ -1,0 +1,1 @@
+lib/slicer/slicer.mli: Ast Bunshin_ir

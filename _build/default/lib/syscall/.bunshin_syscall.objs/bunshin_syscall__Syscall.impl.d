@@ -1,0 +1,1 @@
+lib/syscall/syscall.ml: Format Int64 List String

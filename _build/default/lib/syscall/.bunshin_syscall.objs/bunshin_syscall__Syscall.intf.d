@@ -1,0 +1,1 @@
+lib/syscall/syscall.mli: Format

@@ -1,0 +1,52 @@
+let sum xs = List.fold_left ( +. ) 0.0 xs
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let logs = List.map (fun x -> if x <= 0.0 then invalid_arg "Stats.geomean: non-positive" else log x) xs in
+    exp (mean logs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+    let n = List.length s in
+    let a = Array.of_list s in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+    let a = Array.of_list s in
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let minimum = function [] -> 0.0 | x :: xs -> List.fold_left min x xs
+let maximum = function [] -> 0.0 | x :: xs -> List.fold_left max x xs
+
+let overhead ~baseline ~measured =
+  if baseline <= 0.0 then invalid_arg "Stats.overhead: non-positive baseline";
+  (measured -. baseline) /. baseline
+
+let pct x = Printf.sprintf "%.1f%%" (x *. 100.0)

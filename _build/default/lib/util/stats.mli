@@ -1,0 +1,27 @@
+(** Small statistics toolkit used by the profiler and the benchmark harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0. on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. for fewer than two samples. *)
+
+val median : float list -> float
+(** Median (average of middle two for even length); 0. on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], linear interpolation. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+val sum : float list -> float
+
+val overhead : baseline:float -> measured:float -> float
+(** Relative slowdown [(measured - baseline) / baseline]; the unit used
+    throughout the paper ("107%" = 1.07). *)
+
+val pct : float -> string
+(** Render an overhead fraction as a percentage string, e.g. [0.471 -> "47.1%"]. *)

@@ -1,0 +1,1 @@
+lib/variant/asap.ml: Float List

@@ -1,0 +1,1 @@
+lib/variant/variant.ml: Array Bunshin_partition Bunshin_program Bunshin_sanitizer Format Fun List Option Printf String

@@ -1,0 +1,1 @@
+lib/variant/variant.mli: Bunshin_program Bunshin_sanitizer Format

@@ -1,0 +1,192 @@
+module San = Bunshin_sanitizer.Sanitizer
+module Cost = Bunshin_sanitizer.Cost_model
+module Program = Bunshin_program.Program
+module Partition = Bunshin_partition.Partition
+
+type spec = {
+  vs_index : int;
+  vs_sanitizers : San.t list;
+  vs_checked_funcs : string list option;
+  vs_predicted_load : float;
+}
+
+type plan = { pl_prog : Program.t; pl_specs : spec list; pl_block_split : int }
+
+let builds plan =
+  List.map
+    (fun s ->
+      match s.vs_checked_funcs with
+      | None ->
+        if s.vs_sanitizers = [] then Program.baseline plan.pl_prog
+        else Program.full s.vs_sanitizers plan.pl_prog
+      | Some checked ->
+        Program.variant s.vs_sanitizers ~block_split:plan.pl_block_split ~checked
+          plan.pl_prog)
+    plan.pl_specs
+
+(* ------------------------------------------------------------------ *)
+(* Check distribution *)
+
+let check_distribution ~n ?(block_split = 1) ~sanitizer ~overhead_profile prog =
+  if n < 1 then invalid_arg "Variant.check_distribution: n must be >= 1";
+  if block_split < 1 then invalid_arg "Variant.check_distribution: block_split must be >= 1";
+  let weight_of fname = Option.value ~default:0.0 (List.assoc_opt fname overhead_profile) in
+  let all_funcs = List.map (fun f -> f.Program.fn_name) prog.Program.funcs in
+  let weighted, zero = List.partition (fun f -> weight_of f > 0.0) all_funcs in
+  (* At block granularity every function contributes block_split units,
+     each carrying an equal share of the function's measured overhead. *)
+  let unit_names f =
+    if block_split = 1 then [ f ]
+    else List.init block_split (fun i -> Program.block_unit f i)
+  in
+  let zero = List.concat_map unit_names zero in
+  let items =
+    List.concat_map
+      (fun f ->
+        let w = weight_of f /. float_of_int block_split in
+        List.map (fun u -> { Partition.label = u; weight = w }) (unit_names f))
+      weighted
+  in
+  let result = Partition.best n items in
+  let bins = Array.map (fun items -> List.map (fun i -> i.Partition.label) items) result.Partition.bins in
+  (* Zero-overhead functions still need an owner for full coverage. *)
+  List.iteri (fun idx f -> bins.(idx mod n) <- f :: bins.(idx mod n)) zero;
+  let specs =
+    List.init n (fun i ->
+        {
+          vs_index = i;
+          vs_sanitizers = [ sanitizer ];
+          vs_checked_funcs = Some bins.(i);
+          vs_predicted_load = result.Partition.loads.(i);
+        })
+  in
+  { pl_prog = prog; pl_specs = specs; pl_block_split = block_split }
+
+(* ------------------------------------------------------------------ *)
+(* Sanitizer distribution *)
+
+let group_conflict_free sans = San.collectively_enforceable sans
+
+let sanitizer_distribution ~n ~units prog =
+  if n < 1 then invalid_arg "Variant.sanitizer_distribution: n must be >= 1"
+  else begin
+    let labelled =
+      List.mapi
+        (fun i (sans, w) ->
+          ({ Partition.label = string_of_int i; weight = w }, sans))
+        units
+    in
+    let items = List.map fst labelled in
+    let result = Partition.best n items in
+    let unit_of_label l = List.assoc l (List.map (fun (i, s) -> (i.Partition.label, s)) labelled) in
+    (* Repair pass: move a conflicting unit to the lightest bin that accepts
+       it. Unit granularity is preserved by keeping bins as unit lists. *)
+    let unit_bins =
+      Array.map
+        (fun items -> List.map (fun i -> (i, unit_of_label i.Partition.label)) items)
+        result.Partition.bins
+    in
+    let load bin =
+      List.fold_left (fun acc (i, _) -> acc +. i.Partition.weight) 0.0 unit_bins.(bin)
+    in
+    let bin_sans bin = List.concat_map snd unit_bins.(bin) in
+    let ok = ref true in
+    for b = 0 to n - 1 do
+      let rec fix () =
+        if not (group_conflict_free (bin_sans b)) then begin
+          (* Evict the lightest unit that participates in a conflict. *)
+          let offenders =
+            List.filter
+              (fun (_, sans) ->
+                List.exists
+                  (fun s ->
+                    List.exists
+                      (fun (_, sans') ->
+                        sans != sans' && List.exists (fun s' -> San.conflict s s') sans')
+                      unit_bins.(b))
+                  sans)
+              unit_bins.(b)
+          in
+          match offenders with
+          | [] -> ok := false
+          | _ ->
+            let item, sans =
+              List.fold_left
+                (fun (bi, bs) (i, s) ->
+                  if i.Partition.weight < bi.Partition.weight then (i, s) else (bi, bs))
+                (List.hd offenders) (List.tl offenders)
+            in
+            (* Find a destination bin where it fits without conflict. *)
+            let candidates =
+              List.filter
+                (fun b' -> b' <> b && group_conflict_free (sans @ bin_sans b'))
+                (List.init n Fun.id)
+            in
+            (match candidates with
+             | [] -> ok := false
+             | _ ->
+               let dest =
+                 List.fold_left (fun acc b' -> if load b' < load acc then b' else acc)
+                   (List.hd candidates) (List.tl candidates)
+               in
+               unit_bins.(b) <- List.filter (fun (i, _) -> i != item) unit_bins.(b);
+               unit_bins.(dest) <- (item, sans) :: unit_bins.(dest);
+               fix ())
+        end
+      in
+      fix ()
+    done;
+    if not !ok then
+      Error
+        (Printf.sprintf
+           "cannot place %d units into %d conflict-free variants; increase N" (List.length units)
+           n)
+    else begin
+      let specs =
+        List.init n (fun i ->
+            {
+              vs_index = i;
+              vs_sanitizers = bin_sans i;
+              vs_checked_funcs = None;
+              vs_predicted_load = load i;
+            })
+      in
+      Ok { pl_prog = prog; pl_specs = specs; pl_block_split = 1 }
+    end
+  end
+
+let unify ~n groups prog =
+  let units =
+    List.map (fun sans -> (sans, San.group_cost sans Cost.typical_profile)) groups
+  in
+  sanitizer_distribution ~n ~units prog
+
+(* ------------------------------------------------------------------ *)
+
+let coverage_complete plan =
+  let all_funcs = List.map (fun f -> f.Program.fn_name) plan.pl_prog.Program.funcs in
+  let units =
+    if plan.pl_block_split = 1 then all_funcs
+    else
+      List.concat_map
+        (fun f -> List.init plan.pl_block_split (fun i -> Program.block_unit f i))
+        all_funcs
+  in
+  List.for_all
+    (fun u ->
+      List.exists
+        (fun s -> match s.vs_checked_funcs with None -> true | Some fs -> List.mem u fs)
+        plan.pl_specs)
+    units
+
+let pp_plan fmt plan =
+  Format.fprintf fmt "plan for %s:@." plan.pl_prog.Program.name;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  variant %d: sanitizers={%s} checked=%s load=%.3f@." s.vs_index
+        (String.concat ", " (List.map San.name s.vs_sanitizers))
+        (match s.vs_checked_funcs with
+         | None -> "<all>"
+         | Some fs -> Printf.sprintf "[%s]" (String.concat "; " fs))
+        s.vs_predicted_load)
+    plan.pl_specs

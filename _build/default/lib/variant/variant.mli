@@ -1,0 +1,68 @@
+(** The automated variant generator (Figure 1).
+
+    Takes profiling output and a target variant count N and produces N build
+    configurations whose overheads are distributed as evenly as the
+    partitioning allows:
+
+    - {!check_distribution} splits one sanitizer's checks over N variants
+      at function granularity;
+    - {!sanitizer_distribution} splits a set of protection units (whole
+      sanitizers or UBSan sub-sanitizers) into N conflict-free groups;
+    - {!unify} is the Figure-8 special case: one unit per mutually
+      conflicting sanitizer family. *)
+
+module San := Bunshin_sanitizer.Sanitizer
+module Program := Bunshin_program.Program
+
+type spec = {
+  vs_index : int;
+  vs_sanitizers : San.t list;
+  vs_checked_funcs : string list option;  (** [None] = checks everywhere *)
+  vs_predicted_load : float;              (** partitioned overhead weight *)
+}
+
+type plan = { pl_prog : Program.t; pl_specs : spec list; pl_block_split : int }
+
+val builds : plan -> Program.build list
+(** Concrete build per variant, ready for {!Bunshin_profile.Profile.exec_build}
+    or the NXE. *)
+
+val check_distribution :
+  n:int ->
+  ?block_split:int ->
+  sanitizer:San.t ->
+  overhead_profile:(string * float) list ->
+  Program.t ->
+  plan
+(** Distribute one sanitizer's checks over [n] variants.  The overhead
+    profile (per-function extra time from {!Bunshin_profile.Profile})
+    provides the partition weights; functions with zero overhead are
+    assigned round-robin.  Every function is checked in exactly one
+    variant.
+
+    [block_split] (default 1) enables the finer granularity of the paper's
+    §6: each function is split into that many block groups, each a separate
+    protection unit with a proportional share of the function's overhead —
+    the fix for single-hot-function outliers like hmmer and lbm. *)
+
+val sanitizer_distribution :
+  n:int ->
+  units:(San.t list * float) list ->
+  Program.t ->
+  (plan, string) result
+(** Distribute protection units over [n] variants.  Each unit (an atomic
+    group of sanitizers, e.g. one UBSan sub-sanitizer, or all of UBSan) is
+    placed whole.  After weight balancing, a repair pass relocates units
+    whose group would conflict; [Error] if no conflict-free placement is
+    found. *)
+
+val unify : n:int -> San.t list list -> Program.t -> (plan, string) result
+(** Sanitizer distribution with model-predicted weights (no profiling run
+    needed): the §5.6 use case, e.g.
+    [unify ~n:3 [[asan]; [msan]; ubsan_subs] prog]. *)
+
+val coverage_complete : plan -> bool
+(** Check-distribution invariant: every program function is checked in some
+    variant (Equation 2). *)
+
+val pp_plan : Format.formatter -> plan -> unit

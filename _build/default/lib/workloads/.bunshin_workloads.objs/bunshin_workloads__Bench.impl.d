@@ -1,0 +1,1 @@
+lib/workloads/bench.ml: Array Bunshin_program Bunshin_syscall Bunshin_util Int64 List

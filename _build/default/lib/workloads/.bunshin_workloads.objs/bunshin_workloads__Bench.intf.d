@@ -1,0 +1,1 @@
+lib/workloads/bench.mli: Bunshin_program Bunshin_util

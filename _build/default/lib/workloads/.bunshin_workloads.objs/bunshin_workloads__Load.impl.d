@@ -1,0 +1,1 @@
+lib/workloads/load.ml: Bunshin_machine Float Printf

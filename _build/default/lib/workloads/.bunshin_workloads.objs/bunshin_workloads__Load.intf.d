@@ -1,0 +1,1 @@
+lib/workloads/load.mli: Bunshin_machine

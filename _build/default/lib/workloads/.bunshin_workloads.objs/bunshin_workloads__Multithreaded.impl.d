@@ -1,0 +1,1 @@
+lib/workloads/multithreaded.ml: Bench Bunshin_program Bunshin_sanitizer List Printf

@@ -1,0 +1,1 @@
+lib/workloads/server.ml: Bench Bunshin_program Bunshin_sanitizer Bunshin_syscall Int64 List Printf

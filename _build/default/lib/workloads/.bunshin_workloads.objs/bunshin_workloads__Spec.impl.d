@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Bench Bunshin_program Bunshin_sanitizer Bunshin_util Float List Printf

@@ -1,0 +1,17 @@
+module M = Bunshin_machine.Machine
+
+let spawn_background m ~level ?(tasks = 4) ?(working_set = 2.0) () =
+  let level = Float.max 0.0 (Float.min 1.0 level) in
+  if level > 0.0 then
+    for i = 1 to tasks do
+      let proc = M.new_proc m ~name:(Printf.sprintf "stress-ng-%d" i) ~working_set () in
+      ignore
+        (M.spawn m ~daemon:true proc ~name:"stressor" (fun () ->
+             let period = 20.0 in
+             let rec loop () =
+               M.compute m (period *. level);
+               if level < 1.0 then M.sleep m (period *. (1.0 -. level));
+               loop ()
+             in
+             loop ()))
+    done

@@ -1,0 +1,9 @@
+(** Background system load, modelling stress-ng for the Fig. 9 experiment:
+    CPU tasks, cache thrashing, and memory churn at a target utilization. *)
+
+val spawn_background :
+  Bunshin_machine.Machine.t -> level:float -> ?tasks:int -> ?working_set:float -> unit -> unit
+(** Spawn [tasks] daemon stressor threads (default: one per machine-default
+    core count, 4), each busy [level] of the time, each in its own process
+    with the given cache footprint (default 2.0).  Daemons never block
+    machine termination. *)

@@ -1,0 +1,125 @@
+module Cost = Bunshin_sanitizer.Cost_model
+module Program = Bunshin_program.Program
+
+type row = {
+  r_name : string;
+  r_suite : Bench.suite;
+  r_mem : float;
+  r_arith : float;
+  r_alloc : float;
+  r_funcs : int;
+  r_units : int;
+  r_lock_every : int;     (* 0 = no mutexes *)
+  r_barrier_every : int;  (* 0 = no barriers *)
+  r_supported : bool;
+  r_reason : string option;
+  r_racy : bool;
+}
+
+let threads_default = 4
+
+let splash_rows =
+  let s = Bench.Splash in
+  let mk name mem arith lock_every barrier_every units =
+    {
+      r_name = name; r_suite = s; r_mem = mem; r_arith = arith; r_alloc = 1.0;
+      r_funcs = 30; r_units = units; r_lock_every = lock_every;
+      r_barrier_every = barrier_every; r_supported = true; r_reason = None;
+      r_racy = false;
+    }
+  in
+  [
+    mk "barnes" 0.40 0.40 8 25 120;
+    mk "cholesky" 0.45 0.45 10 30 110;
+    mk "fft" 0.45 0.50 0 20 100;
+    mk "fmm" 0.40 0.45 9 25 120;
+    mk "lu_cb" 0.42 0.50 0 15 110;
+    mk "ocean_cp" 0.50 0.40 12 12 130;
+    mk "radiosity" 0.38 0.35 5 40 120;
+    mk "radix" 0.48 0.40 0 10 100;
+    mk "volrend" 0.35 0.35 7 30 110;
+    mk "water_nsquared" 0.40 0.50 8 25 120;
+    mk "water_spatial" 0.40 0.50 8 25 120;
+  ]
+
+let parsec_rows =
+  let p = Bench.Parsec in
+  let ok name mem arith alloc lock_every barrier_every units =
+    {
+      r_name = name; r_suite = p; r_mem = mem; r_arith = arith; r_alloc = alloc;
+      r_funcs = 40; r_units = units; r_lock_every = lock_every;
+      r_barrier_every = barrier_every; r_supported = true; r_reason = None;
+      r_racy = false;
+    }
+  in
+  let bad ?(racy = false) name reason =
+    {
+      r_name = name; r_suite = p; r_mem = 0.4; r_arith = 0.4; r_alloc = 1.0;
+      r_funcs = 40; r_units = 100; r_lock_every = 8; r_barrier_every = 25;
+      r_supported = false; r_reason = Some reason; r_racy = racy;
+    }
+  in
+  [
+    ok "blackscholes" 0.35 0.55 0.5 0 30 110;
+    ok "bodytrack" 0.40 0.45 2.0 6 20 120;
+    bad ~racy:true "canneal" "intentionally allows data races";
+    ok "dedup" 0.45 0.35 4.0 5 0 130;
+    bad ~racy:true "facesim" "intentionally allows data races";
+    bad ~racy:true "ferret" "intentionally allows data races";
+    bad ~racy:true "fluidanimate" "ad-hoc synchronization bypasses the pthreads API";
+    bad "freqmine" "does not use pthreads for threading (OpenMP)";
+    bad "raytrace" "does not build under clang with -flto";
+    ok "streamcluster" 0.50 0.40 1.0 4 15 120;
+    ok "swaptions" 0.35 0.55 0.8 0 25 100;
+    ok "vips" 0.42 0.40 3.0 7 20 130;
+    bad ~racy:true "x264" "intentionally allows data races";
+  ]
+
+let bench_of_row r =
+  let profile =
+    {
+      Cost.mem_op_density = r.r_mem;
+      arith_density = r.r_arith;
+      ptr_density = 0.10;
+      branch_density = 0.10;
+      alloc_intensity = r.r_alloc;
+    }
+  in
+  let weights =
+    List.init r.r_funcs (fun i ->
+        (Printf.sprintf "%s_f%d" r.r_name i, 0.9 ** float_of_int i))
+  in
+  let funcs =
+    List.map (fun (name, _) -> { Program.fn_name = name; fn_profile = profile }) weights
+  in
+  let prog =
+    {
+      Program.name = r.r_name;
+      funcs;
+      working_set = 4.0;
+      gen_trace =
+        (fun rng ->
+          Bench.threaded_trace ~racy:r.r_racy ~funcs:weights ~threads:threads_default
+            ~units_per_thread:r.r_units ~unit_cost:90.0 ~lock_every:r.r_lock_every
+            ~barrier_every:r.r_barrier_every rng);
+    }
+  in
+  {
+    Bench.name = r.r_name;
+    suite = r.r_suite;
+    threads = threads_default;
+    prog;
+    msan_compatible = true;
+    nxe_supported = r.r_supported;
+    unsupported_reason = r.r_reason;
+  }
+
+let splash = List.map bench_of_row splash_rows
+let parsec = List.map bench_of_row parsec_rows
+
+let supported = List.filter (fun b -> b.Bench.nxe_supported) (splash @ parsec)
+
+let find name =
+  match List.find_opt (fun b -> b.Bench.name = name) (splash @ parsec) with
+  | Some b -> b
+  | None -> raise Not_found

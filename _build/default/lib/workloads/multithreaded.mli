@@ -1,0 +1,18 @@
+(** Models of the SPLASH-2x and PARSEC multithreaded suites (§5.1/§5.2).
+
+    PARSEC members the paper could not run are modelled with
+    [nxe_supported = false] and the paper's reason: raytrace does not build
+    with -flto; canneal, facesim, ferret and x264 intentionally race;
+    fluidanimate uses ad-hoc synchronization; freqmine is OpenMP. *)
+
+val splash : Bench.t list
+(** 11 SPLASH-2x kernels/apps, 4 threads each. *)
+
+val parsec : Bench.t list
+(** 13 PARSEC benchmarks; 6 supported, 7 flagged unsupported. *)
+
+val supported : Bench.t list
+(** All runnable multithreaded benchmarks (Fig. 4's population). *)
+
+val find : string -> Bench.t
+(** @raise Not_found for unknown names. *)

@@ -1,0 +1,26 @@
+(** Server workload models: lighttpd (single process) and nginx (4 worker
+    threads), the §5.2/Table 2 population.
+
+    A request costs an event-loop share (amortized under high concurrency,
+    which is why per-request time falls from 64 to 1024 connections), an
+    accept and a request read, parsing work, a file-content copy at ~0.9
+    us/KB, and one write syscall per 64 KB chunk — so 1 KB responses are
+    syscall-dominated (NXE overhead ~15-25%) while 1 MB responses are
+    copy-dominated (NXE overhead ~1-2%), reproducing Table 2's contrast. *)
+
+type kind = Lighttpd | Nginx
+
+val make :
+  kind -> file_kb:int -> connections:int -> requests:int -> Bench.t
+(** Build the server benchmark.  [requests] is the total number of requests
+    the run serves (split across workers for nginx). *)
+
+val per_request_us :
+  kind:kind -> file_kb:int -> requests:int -> total_time:float -> float
+(** Mean processing time per request, the Table 2 metric: wall time scaled
+    by worker parallelism, minus the wire-transmission gap (the testbed's
+    1 Gb/s link is the bottleneck for large files, not the CPU). *)
+
+val network_gap_us : file_kb:int -> float
+val kind_name : kind -> string
+val workers : kind -> int

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Bench Bunshin Experiments List Multithreaded Nxe Printf Program Server Spec Stats

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ast Builder Bunshin_ir Cfg Dominance Int64 Interp List Option Printer QCheck QCheck_alcotest Result Runtime_api String Verify

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Bunshin_machine Bunshin_util Float Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Builder Bunshin_ir Bunshin_sanitizer Bunshin_slicer Interp List Parser Printer QCheck QCheck_alcotest Result String Verify

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Bunshin_partition Float Gen List Printf QCheck QCheck_alcotest

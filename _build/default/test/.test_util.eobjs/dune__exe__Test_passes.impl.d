@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Ast Builder Bunshin_attack Bunshin_ir Bunshin_sanitizer Bunshin_slicer Bunshin_variant Float Int64 Interp List Printf QCheck QCheck_alcotest Simplify Verify

@@ -1,0 +1,1 @@
+test/test_sanitizer.ml: Alcotest Ast Builder Bunshin_ir Bunshin_sanitizer Bunshin_slicer Bunshin_syscall Bunshin_util Int64 Interp List Option Printf QCheck QCheck_alcotest String Verify

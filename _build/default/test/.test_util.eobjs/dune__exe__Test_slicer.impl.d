@@ -1,0 +1,1 @@
+test/test_slicer.ml: Alcotest Ast Builder Bunshin_ir Bunshin_sanitizer Bunshin_slicer Int64 Interp List Option Printf QCheck QCheck_alcotest String Verify

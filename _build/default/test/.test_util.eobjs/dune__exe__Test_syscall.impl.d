@@ -1,0 +1,1 @@
+test/test_syscall.ml: Alcotest Bunshin_syscall Format QCheck QCheck_alcotest

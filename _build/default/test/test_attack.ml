@@ -1,0 +1,336 @@
+(* Tests for Bunshin_attack: the RIPE model (Table 3) and the CVE case
+   studies (Table 4), plus workload-model sanity (suites, servers). *)
+
+module Ripe = Bunshin_attack.Ripe
+module Cve = Bunshin_attack.Cve
+module Spec = Bunshin_workloads.Spec
+module Mt = Bunshin_workloads.Multithreaded
+module Server = Bunshin_workloads.Server
+module Bench = Bunshin_workloads.Bench
+module Program = Bunshin_program.Program
+module Trace = Bunshin_program.Trace
+module San = Bunshin_sanitizer.Sanitizer
+module Rng = Bunshin_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* RIPE (Table 3) *)
+
+let test_ripe_population () =
+  Alcotest.(check int) "3840 combos" 3840 (List.length Ripe.combos)
+
+let test_ripe_vanilla_row () =
+  let s, p, f, n = Ripe.table Ripe.Vanilla in
+  Alcotest.(check (list int)) "vanilla row" [ 114; 16; 720; 2990 ] [ s; p; f; n ]
+
+let test_ripe_asan_row () =
+  let s, p, f, n = Ripe.table Ripe.With_asan in
+  Alcotest.(check (list int)) "asan row" [ 8; 0; 842; 2990 ] [ s; p; f; n ]
+
+let test_ripe_bunshin_row () =
+  let s, p, f, n = Ripe.table (Ripe.With_bunshin 2) in
+  Alcotest.(check (list int)) "bunshin row" [ 8; 0; 842; 2990 ] [ s; p; f; n ]
+
+let test_ripe_bunshin_equals_asan_exactly () =
+  (* Not just the same count: the same 8 attacks survive. *)
+  Alcotest.(check (list int)) "same survivors" (Ripe.surviving_ids Ripe.With_asan)
+    (Ripe.surviving_ids (Ripe.With_bunshin 2));
+  Alcotest.(check (list int)) "n=3 too" (Ripe.surviving_ids Ripe.With_asan)
+    (Ripe.surviving_ids (Ripe.With_bunshin 3))
+
+let test_ripe_survivors_are_intra_object () =
+  let surviving = Ripe.surviving_ids Ripe.With_asan in
+  List.iter
+    (fun id ->
+      let c = List.nth Ripe.combos id in
+      Alcotest.(check bool) "struct func ptr target" true (c.Ripe.target = Ripe.Struct_func_ptr);
+      Alcotest.(check bool) "direct technique" true (c.Ripe.technique = Ripe.Direct))
+    surviving
+
+let test_ripe_asan_never_worse () =
+  (* ASan never lets through an attack that vanilla stopped. *)
+  List.iter
+    (fun c ->
+      let v = Ripe.classify Ripe.Vanilla c and a = Ripe.classify Ripe.With_asan c in
+      if a = Ripe.Succeed then
+        Alcotest.(check bool) "asan survivor also succeeded vanilla" true (v = Ripe.Succeed))
+    Ripe.combos
+
+let test_ripe_structural_consistency () =
+  List.iter
+    (fun c ->
+      let v = Ripe.classify Ripe.Vanilla c in
+      let a = Ripe.classify Ripe.With_asan c in
+      Alcotest.(check bool) "not-possible stable across envs" true
+        ((v = Ripe.Not_possible) = (a = Ripe.Not_possible)))
+    Ripe.combos
+
+(* ------------------------------------------------------------------ *)
+(* CVEs (Table 4) *)
+
+let test_cve_all_detected_by_bunshin () =
+  List.iter
+    (fun case ->
+      let v = Cve.evaluate case in
+      Alcotest.(check bool) (case.Cve.c_program ^ " full sanitizer detects") true
+        v.Cve.v_full_sanitizer;
+      Alcotest.(check bool) (case.Cve.c_program ^ " bunshin detects") true
+        v.Cve.v_bunshin_detects;
+      Alcotest.(check bool) (case.Cve.c_program ^ " benign clean") true v.Cve.v_benign_clean)
+    Cve.cases
+
+let test_cve_check_lives_in_variant_a () =
+  (* The §5.3 investigation: the vulnerable function is protected by the
+     variant that keeps its checks. *)
+  List.iter
+    (fun case ->
+      let v = Cve.evaluate case in
+      Alcotest.(check bool) (case.Cve.c_program ^ " variant A detects") true v.Cve.v_variant_a)
+    Cve.cases
+
+let test_cve_five_rows () =
+  Alcotest.(check int) "five cases" 5 (List.length Cve.cases);
+  let sanitizers = List.map (fun c -> c.Cve.c_sanitizer) Cve.cases in
+  Alcotest.(check int) "four ASan" 4 (List.length (List.filter (( = ) "ASan") sanitizers));
+  Alcotest.(check int) "one UBSan" 1 (List.length (List.filter (( = ) "UBSan") sanitizers))
+
+let test_cve_nginx_divergence_story () =
+  (* Paper §5.3: when the overflow triggers, variant A issues the report
+     write while variant B proceeds — observable stream divergence. *)
+  let nginx = List.hd Cve.cases in
+  let v = Cve.evaluate nginx in
+  Alcotest.(check bool) "A detects" true v.Cve.v_variant_a;
+  Alcotest.(check bool) "B alone does not" false v.Cve.v_variant_b;
+  Alcotest.(check bool) "streams diverge" true v.Cve.v_diverged
+
+let test_cve_heartbleed_leaks_without_checks () =
+  (* Variant B (no checks in the heartbeat parser) leaks the secret to the
+     wire — the leak the selective lockstep catches at IO writes. *)
+  let ossl = List.find (fun c -> c.Cve.c_cve = "2014-0160") Cve.cases in
+  let v = Cve.evaluate ossl in
+  Alcotest.(check bool) "diverged at the response write" true v.Cve.v_diverged
+
+(* ------------------------------------------------------------------ *)
+(* Workload models *)
+
+let test_spec_has_19 () =
+  Alcotest.(check int) "19 benchmarks" 19 (List.length Spec.all)
+
+let test_spec_outliers_hot () =
+  Alcotest.(check bool) "hmmer hot" true (Spec.hot_function_share (Spec.find "hmmer") > 0.9);
+  Alcotest.(check bool) "lbm hot" true (Spec.hot_function_share (Spec.find "lbm") > 0.9);
+  Alcotest.(check bool) "gcc flat" true (Spec.hot_function_share (Spec.find "gcc") < 0.5)
+
+let test_spec_gcc_msan_incompatible () =
+  Alcotest.(check bool) "gcc no msan" false (Spec.find "gcc").Bench.msan_compatible;
+  Alcotest.(check bool) "others ok" true (Spec.find "mcf").Bench.msan_compatible
+
+let test_spec_asan_average_near_107 () =
+  (* The §5.4 headline: ASan averages ~107% over SPEC. *)
+  let ohs =
+    List.map
+      (fun b -> Program.overhead_of_build (Program.full [ San.asan ] b.Bench.prog))
+      Spec.all
+  in
+  let avg = Bunshin_util.Stats.mean ohs in
+  Alcotest.(check bool) (Printf.sprintf "avg %.3f in [0.9, 1.3]" avg) true
+    (avg >= 0.9 && avg <= 1.3)
+
+let test_spec_ubsan_average_near_228 () =
+  let ohs =
+    List.map
+      (fun b -> Program.overhead_of_build (Program.full San.ubsan_subs b.Bench.prog))
+      Spec.all
+  in
+  let avg = Bunshin_util.Stats.mean ohs in
+  Alcotest.(check bool) (Printf.sprintf "avg %.3f in [1.9, 2.7]" avg) true
+    (avg >= 1.9 && avg <= 2.7)
+
+let test_spec_dealii_ubsan_outlier () =
+  let oh b = Program.overhead_of_build (Program.full San.ubsan_subs (Spec.find b).Bench.prog) in
+  let dealii = oh "dealII" and mcf = oh "mcf" in
+  Alcotest.(check bool) (Printf.sprintf "dealII %.2f > 1.5x mcf %.2f" dealii mcf) true
+    (dealii > 1.5 *. mcf)
+
+let test_spec_traces_deterministic () =
+  let b = Spec.find "bzip2" in
+  let t1 = b.Bench.prog.Program.gen_trace (Rng.create 5) in
+  let t2 = b.Bench.prog.Program.gen_trace (Rng.create 5) in
+  Alcotest.(check bool) "same trace" true (t1 = t2)
+
+let test_multithreaded_population () =
+  Alcotest.(check int) "11 splash" 11 (List.length Mt.splash);
+  Alcotest.(check int) "13 parsec" 13 (List.length Mt.parsec);
+  let unsupported = List.filter (fun b -> not b.Bench.nxe_supported) Mt.parsec in
+  Alcotest.(check int) "7 unsupported parsec" 7 (List.length unsupported);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) (b.Bench.name ^ " has reason") true
+        (b.Bench.unsupported_reason <> None))
+    unsupported
+
+let test_multithreaded_traces_have_threads () =
+  let b = Mt.find "barnes" in
+  let t = b.Bench.prog.Program.gen_trace (Rng.create 1) in
+  let spawns = List.length (List.filter (function Trace.Spawn _ -> true | _ -> false) t) in
+  Alcotest.(check int) "3 workers spawned" 3 spawns
+
+let test_server_baseline_latency_1kb () =
+  (* Table 2: lighttpd, 1 KB files, 64 connections: ~10.3 us/request. *)
+  let requests = 100 in
+  let bench = Server.make Server.Lighttpd ~file_kb:1 ~connections:64 ~requests in
+  let p = Bunshin_profile.Profile.measure (Program.baseline bench.Bench.prog) ~seed:1 in
+  let us =
+    Server.per_request_us ~kind:Server.Lighttpd ~file_kb:1 ~requests
+      ~total_time:p.Bunshin_profile.Profile.total_time
+  in
+  Alcotest.(check bool) (Printf.sprintf "%.2f in [8, 13]" us) true (us >= 8.0 && us <= 13.0)
+
+let test_server_baseline_latency_1mb () =
+  let requests = 10 in
+  let bench = Server.make Server.Lighttpd ~file_kb:1024 ~connections:64 ~requests in
+  let p = Bunshin_profile.Profile.measure (Program.baseline bench.Bench.prog) ~seed:1 in
+  let us =
+    Server.per_request_us ~kind:Server.Lighttpd ~file_kb:1024 ~requests
+      ~total_time:p.Bunshin_profile.Profile.total_time
+  in
+  Alcotest.(check bool) (Printf.sprintf "%.1f in [900, 1100]" us) true
+    (us >= 900.0 && us <= 1100.0)
+
+let test_server_concurrency_amortizes () =
+  let run conns =
+    let requests = 100 in
+    let bench = Server.make Server.Lighttpd ~file_kb:1 ~connections:conns ~requests in
+    let p = Bunshin_profile.Profile.measure (Program.baseline bench.Bench.prog) ~seed:1 in
+    Server.per_request_us ~kind:Server.Lighttpd ~file_kb:1 ~requests
+      ~total_time:p.Bunshin_profile.Profile.total_time
+  in
+  let l64 = run 64 and l1024 = run 1024 in
+  Alcotest.(check bool) (Printf.sprintf "%.2f > %.2f" l64 l1024) true (l64 > l1024)
+
+let test_server_nginx_multithreaded () =
+  let bench = Server.make Server.Nginx ~file_kb:1 ~connections:64 ~requests:80 in
+  Alcotest.(check int) "4 workers" 4 bench.Bench.threads;
+  let t = bench.Bench.prog.Program.gen_trace (Rng.create 1) in
+  let spawns = List.length (List.filter (function Trace.Spawn _ -> true | _ -> false) t) in
+  Alcotest.(check int) "3 spawned workers" 3 spawns;
+  Alcotest.(check bool) "uses accept mutex" true
+    (List.exists (function Trace.Lock _ -> true | _ -> false) t)
+
+let () =
+  Alcotest.run ~and_exit:false "bunshin_attack_workloads"
+    [
+      ( "ripe",
+        [
+          Alcotest.test_case "population" `Quick test_ripe_population;
+          Alcotest.test_case "vanilla row" `Quick test_ripe_vanilla_row;
+          Alcotest.test_case "asan row" `Quick test_ripe_asan_row;
+          Alcotest.test_case "bunshin row" `Quick test_ripe_bunshin_row;
+          Alcotest.test_case "bunshin = asan exactly" `Quick test_ripe_bunshin_equals_asan_exactly;
+          Alcotest.test_case "survivors intra-object" `Quick test_ripe_survivors_are_intra_object;
+          Alcotest.test_case "asan never worse" `Quick test_ripe_asan_never_worse;
+          Alcotest.test_case "structural consistency" `Quick test_ripe_structural_consistency;
+        ] );
+      ( "cve",
+        [
+          Alcotest.test_case "all detected" `Quick test_cve_all_detected_by_bunshin;
+          Alcotest.test_case "variant A holds check" `Quick test_cve_check_lives_in_variant_a;
+          Alcotest.test_case "five rows" `Quick test_cve_five_rows;
+          Alcotest.test_case "nginx divergence story" `Quick test_cve_nginx_divergence_story;
+          Alcotest.test_case "heartbleed leak" `Quick test_cve_heartbleed_leaks_without_checks;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "19 benchmarks" `Quick test_spec_has_19;
+          Alcotest.test_case "outliers hot" `Quick test_spec_outliers_hot;
+          Alcotest.test_case "gcc msan incompatible" `Quick test_spec_gcc_msan_incompatible;
+          Alcotest.test_case "asan avg ~107%" `Quick test_spec_asan_average_near_107;
+          Alcotest.test_case "ubsan avg ~228%" `Quick test_spec_ubsan_average_near_228;
+          Alcotest.test_case "dealII ubsan outlier" `Quick test_spec_dealii_ubsan_outlier;
+          Alcotest.test_case "traces deterministic" `Quick test_spec_traces_deterministic;
+        ] );
+      ( "multithreaded",
+        [
+          Alcotest.test_case "population" `Quick test_multithreaded_population;
+          Alcotest.test_case "threads spawned" `Quick test_multithreaded_traces_have_threads;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "1kb latency" `Quick test_server_baseline_latency_1kb;
+          Alcotest.test_case "1mb latency" `Quick test_server_baseline_latency_1mb;
+          Alcotest.test_case "concurrency amortizes" `Quick test_server_concurrency_amortizes;
+          Alcotest.test_case "nginx multithreaded" `Quick test_server_nginx_multithreaded;
+        ] );
+    ]
+
+(* Appended: micro-RIPE — executable attack programs behind Table 3. *)
+module Rir = Bunshin_attack.Ripe_ir
+
+let intra c = c.Rir.target = Rir.Struct_func_ptr
+
+let micro_outcomes = lazy (List.map (fun c -> (c, Rir.evaluate c)) Rir.combos)
+
+let test_micro_ripe_vanilla_all_succeed () =
+  List.iter
+    (fun (c, o) ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a vanilla" Rir.pp_combo c)
+        true o.Rir.ro_vanilla_succeeds)
+    (Lazy.force micro_outcomes)
+
+let test_micro_ripe_asan_catches_cross_object () =
+  List.iter
+    (fun (c, o) ->
+      if not (intra c) then
+        Alcotest.(check bool) (Format.asprintf "%a asan" Rir.pp_combo c) true o.Rir.ro_asan_detects)
+    (Lazy.force micro_outcomes)
+
+let test_micro_ripe_intra_object_survives () =
+  (* RIPE's 8: intra-object overflows are out of ASan's scope and produce
+     no divergence (both variants behave identically). *)
+  List.iter
+    (fun (c, o) ->
+      if intra c then begin
+        Alcotest.(check bool) (Format.asprintf "%a asan misses" Rir.pp_combo c) false
+          o.Rir.ro_asan_detects;
+        Alcotest.(check bool) (Format.asprintf "%a bunshin misses" Rir.pp_combo c) false
+          o.Rir.ro_bunshin_detects
+      end)
+    (Lazy.force micro_outcomes)
+
+let test_micro_ripe_bunshin_equals_asan () =
+  List.iter
+    (fun (c, o) ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a bunshin = asan" Rir.pp_combo c)
+        o.Rir.ro_asan_detects o.Rir.ro_bunshin_detects)
+    (Lazy.force micro_outcomes)
+
+let test_micro_ripe_benign_clean () =
+  List.iter
+    (fun (c, o) ->
+      Alcotest.(check bool) (Format.asprintf "%a benign" Rir.pp_combo c) true o.Rir.ro_benign_clean)
+    (Lazy.force micro_outcomes)
+
+let test_micro_ripe_weaker_defenses () =
+  (* Frame-internal fp targets evade stack cookies (they only guard the
+     return path); whole-function reuse evades coarse CFI. *)
+  List.iter
+    (fun (c, o) ->
+      Alcotest.(check bool) (Format.asprintf "%a cookie" Rir.pp_combo c) false
+        o.Rir.ro_cookie_detects;
+      Alcotest.(check bool) (Format.asprintf "%a cfi" Rir.pp_combo c) false o.Rir.ro_cfi_detects)
+    (Lazy.force micro_outcomes)
+
+let () =
+  Alcotest.run ~and_exit:false "bunshin_micro_ripe"
+    [
+      ( "micro-ripe",
+        [
+          Alcotest.test_case "vanilla succeeds" `Quick test_micro_ripe_vanilla_all_succeed;
+          Alcotest.test_case "asan catches cross-object" `Quick test_micro_ripe_asan_catches_cross_object;
+          Alcotest.test_case "intra-object survives" `Quick test_micro_ripe_intra_object_survives;
+          Alcotest.test_case "bunshin = asan" `Quick test_micro_ripe_bunshin_equals_asan;
+          Alcotest.test_case "benign clean" `Quick test_micro_ripe_benign_clean;
+          Alcotest.test_case "weaker defenses" `Quick test_micro_ripe_weaker_defenses;
+        ] );
+    ]

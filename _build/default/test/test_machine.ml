@@ -1,0 +1,414 @@
+(* Tests for Bunshin_machine: event heap, fibers, scheduling, cache model. *)
+
+module Heap = Bunshin_machine.Event_heap
+module M = Bunshin_machine.Machine
+
+let cfg ?(cores = 4) ?(quantum = 1.0) ?(ctx = 0.0) ?(llc = 1e9) ?(penalty = 0.5) () =
+  { M.default_config with
+    cores;
+    quantum;
+    ctx_switch_cost = ctx;
+    llc_capacity = llc;
+    miss_penalty = penalty }
+
+let check_time = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Event heap *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  Heap.push h 3.0 "c";
+  Heap.push h 1.0 "a";
+  Heap.push h 2.0 "b";
+  let pop () = match Heap.pop h with Some (_, x) -> x | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ];
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h 1.0 "first";
+  Heap.push h 1.0 "second";
+  Heap.push h 1.0 "third";
+  let pop () = match Heap.pop h with Some (_, x) -> x | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "insertion order" [ "first"; "second"; "third" ]
+    [ first; second; third ]
+
+let test_heap_many () =
+  let h = Heap.create () in
+  let rng = Bunshin_util.Rng.create 5 in
+  for i = 0 to 999 do
+    Heap.push h (Bunshin_util.Rng.float rng 100.0) i
+  done;
+  Alcotest.(check int) "size" 1000 (Heap.size h);
+  let last = ref neg_infinity in
+  let sorted = ref true in
+  for _ = 1 to 1000 do
+    match Heap.pop h with
+    | Some (time, _) ->
+      if time < !last then sorted := false;
+      last := time
+    | None -> sorted := false
+  done;
+  Alcotest.(check bool) "monotone" true !sorted
+
+(* ------------------------------------------------------------------ *)
+(* Basic execution *)
+
+let test_single_thread_time () =
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  ignore (M.spawn m p ~name:"t" (fun () -> M.compute m 100.0));
+  M.run m;
+  check_time "100us" 100.0 (M.stats m).M.total_time
+
+let test_two_threads_parallel () =
+  let m = M.create ~config:(cfg ~cores:2 ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  ignore (M.spawn m p ~name:"a" (fun () -> M.compute m 100.0));
+  ignore (M.spawn m p ~name:"b" (fun () -> M.compute m 100.0));
+  M.run m;
+  check_time "parallel" 100.0 (M.stats m).M.total_time
+
+let test_two_threads_one_core_serialize () =
+  let m = M.create ~config:(cfg ~cores:1 ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  ignore (M.spawn m p ~name:"a" (fun () -> M.compute m 100.0));
+  ignore (M.spawn m p ~name:"b" (fun () -> M.compute m 100.0));
+  M.run m;
+  check_time "serialized" 200.0 (M.stats m).M.total_time
+
+let test_context_switch_cost () =
+  (* One core, two threads, quantum 10, ctx cost 1: threads alternate. *)
+  let m = M.create ~config:(cfg ~cores:1 ~quantum:10.0 ~ctx:1.0 ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  ignore (M.spawn m p ~name:"a" (fun () -> M.compute m 20.0));
+  ignore (M.spawn m p ~name:"b" (fun () -> M.compute m 20.0));
+  M.run m;
+  let s = M.stats m in
+  Alcotest.(check bool) "switches happened" true (s.M.context_switches >= 3);
+  Alcotest.(check bool) "total > pure compute" true (s.M.total_time > 40.0)
+
+let test_sleep_does_not_use_core () =
+  let m = M.create ~config:(cfg ~cores:1 ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  ignore (M.spawn m p ~name:"sleeper" (fun () -> M.sleep m 1000.0));
+  ignore (M.spawn m p ~name:"worker" (fun () -> M.compute m 50.0));
+  M.run m;
+  (* The sleeper does not block the worker's core. *)
+  check_time "ends at sleep end" 1000.0 (M.stats m).M.total_time
+
+let test_sequential_compute_accumulates () =
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  ignore
+    (M.spawn m p ~name:"t" (fun () ->
+         M.compute m 10.0;
+         M.compute m 20.0;
+         M.compute m 30.0));
+  M.run m;
+  check_time "60us" 60.0 (M.stats m).M.total_time
+
+(* ------------------------------------------------------------------ *)
+(* Park / wake *)
+
+let test_park_wake () =
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  let log = ref [] in
+  let waiter = ref None in
+  let t1 =
+    M.spawn m p ~name:"waiter" (fun () ->
+        M.park m;
+        log := "woken" :: !log)
+  in
+  waiter := Some t1;
+  ignore
+    (M.spawn m p ~name:"waker" (fun () ->
+         M.compute m 50.0;
+         log := "waking" :: !log;
+         M.wake m t1));
+  M.run m;
+  Alcotest.(check (list string)) "order" [ "woken"; "waking" ] !log
+
+let test_wake_before_park_not_lost () =
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  let t1 = ref None in
+  let target =
+    M.spawn m p ~name:"late-parker" (fun () ->
+        M.compute m 100.0;
+        (* The wake arrived while we were computing. *)
+        M.park m)
+  in
+  t1 := Some target;
+  ignore (M.spawn m p ~name:"early-waker" (fun () -> M.wake m target));
+  M.run m;
+  Alcotest.(check bool) "finished" true (M.thread_finished m target)
+
+let test_deadlock_detection () =
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  ignore (M.spawn m p ~name:"stuck" (fun () -> M.park m));
+  Alcotest.(check bool) "raises" true
+    (try
+       M.run m;
+       false
+     with M.Deadlock _ -> true)
+
+let test_daemon_does_not_block_exit () =
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  ignore
+    (M.spawn m ~daemon:true p ~name:"background" (fun () ->
+         let rec loop () =
+           M.compute m 10.0;
+           M.sleep m 10.0;
+           loop ()
+         in
+         loop ()));
+  ignore (M.spawn m p ~name:"work" (fun () -> M.compute m 25.0));
+  M.run m;
+  Alcotest.(check bool) "terminates with daemon running" true ((M.stats m).M.total_time >= 25.0)
+
+let test_daemon_contends_for_cores () =
+  (* One core: a daemon that computes constantly roughly halves throughput. *)
+  let m = M.create ~config:(cfg ~cores:1 ~quantum:5.0 ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  ignore
+    (M.spawn m ~daemon:true p ~name:"hog" (fun () ->
+         let rec loop () =
+           M.compute m 5.0;
+           loop ()
+         in
+         loop ()));
+  ignore (M.spawn m p ~name:"work" (fun () -> M.compute m 50.0));
+  M.run m;
+  Alcotest.(check bool) "slowed by hog" true ((M.stats m).M.total_time >= 90.0)
+
+(* ------------------------------------------------------------------ *)
+(* Cache pressure *)
+
+let test_cache_inflation () =
+  (* Working sets twice the LLC: compute inflates. *)
+  let config = cfg ~cores:4 ~llc:10.0 ~penalty:1.0 () in
+  let run_with n_procs =
+    let m = M.create ~config () in
+    for i = 1 to n_procs do
+      let p = M.new_proc m ~name:(string_of_int i) ~working_set:10.0 () in
+      ignore (M.spawn m p ~name:"t" (fun () -> M.compute m 100.0))
+    done;
+    M.run m;
+    (M.stats m).M.total_time
+  in
+  let t1 = run_with 1 in
+  let t2 = run_with 2 in
+  let t4 = run_with 4 in
+  check_time "one proc fits" 100.0 t1;
+  Alcotest.(check bool) "two procs inflate" true (t2 > 100.0);
+  Alcotest.(check bool) "four inflate more" true (t4 > t2)
+
+let test_pressure_peak_recorded () =
+  let config = cfg ~cores:2 ~llc:10.0 () in
+  let m = M.create ~config () in
+  let p1 = M.new_proc m ~name:"a" ~working_set:10.0 () in
+  let p2 = M.new_proc m ~name:"b" ~working_set:10.0 () in
+  ignore (M.spawn m p1 ~name:"t" (fun () -> M.compute m 10.0));
+  ignore (M.spawn m p2 ~name:"t" (fun () -> M.compute m 10.0));
+  M.run m;
+  Alcotest.(check bool) "peak = 2x" true ((M.stats m).M.cache_pressure_peak >= 2.0 -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Proc accounting *)
+
+let test_proc_accounting () =
+  let m = M.create ~config:(cfg ~cores:2 ()) () in
+  let p1 = M.new_proc m ~name:"fast" ~working_set:1.0 () in
+  let p2 = M.new_proc m ~name:"slow" ~working_set:1.0 () in
+  ignore (M.spawn m p1 ~name:"t" (fun () -> M.compute m 10.0));
+  ignore (M.spawn m p2 ~name:"t" (fun () -> M.compute m 30.0));
+  M.run m;
+  check_time "fast finish" 10.0 (M.proc_finish_time m p1);
+  check_time "slow finish" 30.0 (M.proc_finish_time m p2);
+  check_time "fast cpu" 10.0 (M.proc_cpu_time m p1);
+  check_time "slow cpu" 30.0 (M.proc_cpu_time m p2)
+
+(* ------------------------------------------------------------------ *)
+(* Waitq *)
+
+let test_waitq_signal_fifo () =
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  let wq = M.Waitq.create () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (M.spawn m p ~name:(Printf.sprintf "w%d" i) (fun () ->
+           M.Waitq.wait m wq;
+           log := i :: !log))
+  done;
+  ignore
+    (M.spawn m p ~name:"signaller" (fun () ->
+         M.compute m 10.0;
+         M.Waitq.signal m wq;
+         M.compute m 10.0;
+         M.Waitq.signal m wq;
+         M.compute m 10.0;
+         M.Waitq.signal m wq));
+  M.run m;
+  Alcotest.(check (list int)) "fifo order" [ 3; 2; 1 ] !log
+
+let test_waitq_broadcast () =
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  let wq = M.Waitq.create () in
+  let count = ref 0 in
+  for i = 1 to 5 do
+    ignore
+      (M.spawn m p ~name:(Printf.sprintf "w%d" i) (fun () ->
+           M.Waitq.wait m wq;
+           incr count))
+  done;
+  ignore
+    (M.spawn m p ~name:"b" (fun () ->
+         M.compute m 5.0;
+         M.Waitq.broadcast m wq));
+  M.run m;
+  Alcotest.(check int) "all woken" 5 !count
+
+(* ------------------------------------------------------------------ *)
+(* Determinism *)
+
+let simulate_workload seed =
+  let rng = Bunshin_util.Rng.create seed in
+  let m = M.create ~config:(cfg ~cores:2 ~quantum:2.0 ~ctx:0.5 ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  let trace = ref [] in
+  for i = 1 to 5 do
+    let cost = Bunshin_util.Rng.float rng 20.0 in
+    ignore
+      (M.spawn m p ~name:(Printf.sprintf "t%d" i) (fun () ->
+           M.compute m cost;
+           trace := (i, M.now m) :: !trace))
+  done;
+  M.run m;
+  ((M.stats m).M.total_time, !trace)
+
+let test_determinism () =
+  let t1, tr1 = simulate_workload 99 in
+  let t2, tr2 = simulate_workload 99 in
+  check_time "same total" t1 t2;
+  Alcotest.(check bool) "same trace" true (tr1 = tr2)
+
+let prop_total_at_least_critical_path =
+  QCheck.Test.make ~name:"machine: makespan >= max thread cost" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 8) (float_range 1.0 50.0))
+    (fun costs ->
+      let m = M.create ~config:(cfg ~cores:4 ()) () in
+      let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+      List.iteri
+        (fun i c -> ignore (M.spawn m p ~name:(string_of_int i) (fun () -> M.compute m c)))
+        costs;
+      M.run m;
+      (M.stats m).M.total_time +. 1e-6 >= Bunshin_util.Stats.maximum costs)
+
+let prop_work_conservation =
+  QCheck.Test.make ~name:"machine: makespan <= serial sum (no ctx cost)" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 8) (float_range 1.0 50.0))
+    (fun costs ->
+      let m = M.create ~config:(cfg ~cores:2 ()) () in
+      let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+      List.iteri
+        (fun i c -> ignore (M.spawn m p ~name:(string_of_int i) (fun () -> M.compute m c)))
+        costs;
+      M.run m;
+      (M.stats m).M.total_time <= Bunshin_util.Stats.sum costs +. 1e-6)
+
+let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
+
+let () =
+  Alcotest.run ~and_exit:false "bunshin_machine"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "many" `Quick test_heap_many;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "single thread time" `Quick test_single_thread_time;
+          Alcotest.test_case "parallel threads" `Quick test_two_threads_parallel;
+          Alcotest.test_case "one core serializes" `Quick test_two_threads_one_core_serialize;
+          Alcotest.test_case "context switch cost" `Quick test_context_switch_cost;
+          Alcotest.test_case "sleep frees core" `Quick test_sleep_does_not_use_core;
+          Alcotest.test_case "sequential compute" `Quick test_sequential_compute_accumulates;
+        ] );
+      ( "blocking",
+        [
+          Alcotest.test_case "park/wake" `Quick test_park_wake;
+          Alcotest.test_case "wake before park" `Quick test_wake_before_park_not_lost;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "daemon exit" `Quick test_daemon_does_not_block_exit;
+          Alcotest.test_case "daemon contention" `Quick test_daemon_contends_for_cores;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "inflation" `Quick test_cache_inflation;
+          Alcotest.test_case "pressure peak" `Quick test_pressure_peak_recorded;
+        ] );
+      ("accounting", [ Alcotest.test_case "per-proc" `Quick test_proc_accounting ]);
+      ( "waitq",
+        [
+          Alcotest.test_case "signal fifo" `Quick test_waitq_signal_fifo;
+          Alcotest.test_case "broadcast" `Quick test_waitq_broadcast;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "identical runs" `Quick test_determinism ]
+        @ qcheck [ prop_total_at_least_critical_path; prop_work_conservation ] );
+    ]
+
+(* Appended: scheduler affinity and timeslice-budget behaviour. *)
+let test_affinity_avoids_pingpong () =
+  (* Two compute-heavy threads on two cores: with wake affinity and a
+     timeslice budget each thread keeps its core; switches stay near the
+     minimum (one per thread to start). *)
+  let m = M.create ~config:(cfg ~cores:2 ~quantum:50.0 ~ctx:1.0 ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  ignore (M.spawn m p ~name:"a" (fun () -> for _ = 1 to 100 do M.compute m 10.0 done));
+  ignore (M.spawn m p ~name:"b" (fun () -> for _ = 1 to 100 do M.compute m 10.0 done));
+  M.run m;
+  let s = M.stats m in
+  Alcotest.(check bool)
+    (Printf.sprintf "switches %d <= 4" s.M.context_switches)
+    true (s.M.context_switches <= 4)
+
+let test_timeslice_shares_single_core () =
+  (* One core, two long threads: both make progress (neither starves) and
+     total time is the serial sum. *)
+  let m = M.create ~config:(cfg ~cores:1 ~quantum:25.0 ~ctx:0.0 ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  let a_done = ref 0.0 and b_done = ref 0.0 in
+  ignore (M.spawn m p ~name:"a" (fun () -> M.compute m 200.0; a_done := M.now m));
+  ignore (M.spawn m p ~name:"b" (fun () -> M.compute m 200.0; b_done := M.now m));
+  M.run m;
+  check_time "serial sum" 400.0 (M.stats m).M.total_time;
+  (* Fair slicing: the first finisher ends well before the second. *)
+  let first = Float.min !a_done !b_done and last = Float.max !a_done !b_done in
+  Alcotest.(check bool) "interleaved" true (last -. first < 250.0)
+
+let () =
+  Alcotest.run ~and_exit:false "bunshin_machine_sched"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "affinity avoids ping-pong" `Quick test_affinity_avoids_pingpong;
+          Alcotest.test_case "timeslice sharing" `Quick test_timeslice_shares_single_core;
+        ] );
+    ]

@@ -1,0 +1,356 @@
+(* Tests for Bunshin_slicer: check discovery and backward-slicing removal
+   (§4.1 of the paper). *)
+
+open Bunshin_ir
+module B = Builder
+module San = Bunshin_sanitizer.Sanitizer
+module Inst = Bunshin_sanitizer.Instrument
+module Slicer = Bunshin_slicer.Slicer
+
+let run_main ?config m args = Interp.run ?config m ~entry:"main" ~args
+
+(* main(idx) { p = malloc(4); p[idx] = 7; print(p[idx]); ret 0 } *)
+let heap_prog () =
+  let b = B.create "heap" in
+  B.start_func b ~name:"main" ~params:[ "idx" ];
+  let p = B.call b "malloc" [ B.cst 4 ] in
+  let q = B.gep b p (Ast.Reg "idx") in
+  B.store b (B.cst 7) q;
+  let v = B.load b q in
+  B.call_void b "print" [ v ];
+  B.ret b (Some (B.cst 0));
+  B.finish b
+
+(* Two functions, each with one checked access. *)
+let two_func_prog () =
+  let b = B.create "two" in
+  B.start_func b ~name:"reader" ~params:[ "p" ];
+  let v = B.load b (Ast.Reg "p") in
+  B.ret b (Some v);
+  B.start_func b ~name:"writer" ~params:[ "p"; "x" ];
+  B.store b (Ast.Reg "x") (Ast.Reg "p");
+  B.ret b None;
+  B.start_func b ~name:"main" ~params:[ "idx" ];
+  let p = B.call b "malloc" [ B.cst 4 ] in
+  let q = B.gep b p (Ast.Reg "idx") in
+  B.call_void b "writer" [ q; B.cst 9 ];
+  let v = B.call b "reader" [ q ] in
+  B.call_void b "print" [ v ];
+  B.ret b None;
+  B.finish b
+
+(* ------------------------------------------------------------------ *)
+(* Discovery *)
+
+let test_discover_counts () =
+  let base = heap_prog () in
+  Alcotest.(check int) "baseline has no sinks" 0 (List.length (Slicer.discover base));
+  let inst = Inst.apply_exn [ San.asan ] base in
+  Alcotest.(check int) "asan adds two sinks" 2 (List.length (Slicer.discover inst))
+
+let test_discover_identifies_handler () =
+  let inst = Inst.apply_exn [ San.asan ] (heap_prog ()) in
+  let handlers = List.map (fun s -> s.Slicer.sk_handler) (Slicer.discover inst) in
+  Alcotest.(check (list string)) "handlers" [ "__asan_report_store"; "__asan_report_load" ]
+    handlers
+
+let test_discover_ignores_metadata () =
+  (* MSan metadata (counter update per store) contains stores but no report
+     handler: it must not be discovered. *)
+  let inst = Inst.apply_exn [ San.msan ] (heap_prog ()) in
+  let sinks = Slicer.discover inst in
+  Alcotest.(check bool) "only msan checks" true
+    (List.for_all (fun s -> s.Slicer.sk_handler = "__msan_report") sinks)
+
+let test_per_function_counts () =
+  let inst = Inst.apply_exn [ San.asan ] (two_func_prog ()) in
+  let counts = Slicer.per_function_check_count inst in
+  Alcotest.(check (list (pair string int)))
+    "per function" [ ("reader", 1); ("writer", 1); ("main", 0) ] counts
+
+(* ------------------------------------------------------------------ *)
+(* Removal *)
+
+let test_remove_restores_benign_behavior () =
+  let base = heap_prog () in
+  let inst = Inst.apply_exn [ San.asan ] base in
+  let removed = Slicer.remove_checks inst in
+  Verify.check_exn removed;
+  let r0 = run_main base [ 2L ] in
+  let r1 = run_main removed [ 2L ] in
+  Alcotest.(check bool) "benign events equal" true (Interp.events_equal r0 r1)
+
+let test_remove_disables_detection () =
+  let inst = Inst.apply_exn [ San.asan ] (heap_prog ()) in
+  let removed = Slicer.remove_checks inst in
+  let r = run_main removed [ 4L ] in
+  (* Like the baseline: silent corruption, no detection. *)
+  Alcotest.(check bool) "no longer detected" true
+    (match r.Interp.outcome with Interp.Finished _ -> true | _ -> false)
+
+let test_remove_removes_all_sinks () =
+  let inst = Inst.apply_exn [ San.asan ] (heap_prog ()) in
+  let removed = Slicer.remove_checks inst in
+  Alcotest.(check int) "no sinks left" 0 (List.length (Slicer.discover removed))
+
+let test_remove_keeps_metadata () =
+  (* The ASan shadow-counter updates are metadata maintenance; removal must
+     keep them (the paper: removing them breaks sanitizer correctness). *)
+  let inst = Inst.apply_exn [ San.asan ] (heap_prog ()) in
+  let removed = Slicer.remove_checks inst in
+  let touches_metadata_global m =
+    List.exists
+      (fun f ->
+        List.exists
+          (fun bl ->
+            List.exists
+              (fun i ->
+                List.exists
+                  (function Ast.Global g -> g = Inst.asan_metadata_global | _ -> false)
+                  (Ast.uses_of_instr i))
+              bl.Ast.b_instrs)
+          f.Ast.f_blocks)
+      m.Ast.m_funcs
+  in
+  Alcotest.(check bool) "metadata stores survive" true (touches_metadata_global removed)
+
+let test_remove_instruction_count () =
+  let base = heap_prog () in
+  let inst = Inst.apply_exn [ San.asan ] base in
+  let removed = Slicer.remove_checks inst in
+  let n = Slicer.removed_instruction_count inst removed in
+  (* Each ASan check: 1 condition call + 1 sink-body call = 2 instructions,
+     and there are two checks. *)
+  Alcotest.(check int) "4 instructions removed" 4 n
+
+let test_remove_only_selected_functions () =
+  let inst = Inst.apply_exn [ San.asan ] (two_func_prog ()) in
+  let removed = Slicer.remove_checks ~in_funcs:[ "reader" ] inst in
+  let counts = Slicer.per_function_check_count removed in
+  Alcotest.(check (list (pair string int)))
+    "writer keeps its check" [ ("reader", 0); ("writer", 1); ("main", 0) ] counts;
+  (* The surviving check still works: oob write via writer is detected. *)
+  let r = run_main removed [ 5L ] in
+  Alcotest.(check bool) "writer check fires" true
+    (match r.Interp.outcome with
+     | Interp.Detected d -> d.Interp.d_func = "writer"
+     | _ -> false)
+
+let test_remove_by_handler () =
+  (* Instrument with ASan + a UBSan sub, then strip only ASan checks. *)
+  let sub = Option.get (San.find_ubsan_sub "integer-divide-by-zero") in
+  let b = B.create "mix" in
+  B.start_func b ~name:"main" ~params:[ "idx"; "n" ];
+  let p = B.call b "malloc" [ B.cst 4 ] in
+  let q = B.gep b p (Ast.Reg "idx") in
+  B.store b (B.cst 1) q;
+  let v = B.sdiv b (B.cst 10) (Ast.Reg "n") in
+  B.call_void b "print" [ v ];
+  B.ret b None;
+  let inst = Inst.apply_exn [ San.asan; sub ] (B.finish b) in
+  let stripped =
+    Slicer.remove_checks
+      ~handler_matches:(fun h -> String.length h >= 6 && String.sub h 0 6 = "__asan")
+      inst
+  in
+  Verify.check_exn stripped;
+  (* ASan check gone: oob store into the redzone is silent now. *)
+  let oob = run_main stripped [ 4L; 1L ] in
+  Alcotest.(check bool) "asan check gone" true
+    (match oob.Interp.outcome with Interp.Finished _ -> true | _ -> false);
+  (* UBSan check kept: div-by-zero still detected. *)
+  let div0 = run_main stripped [ 1L; 0L ] in
+  Alcotest.(check bool) "ubsan kept" true
+    (match div0.Interp.outcome with
+     | Interp.Detected d -> d.Interp.d_handler = "__ubsan_report_divrem"
+     | _ -> false)
+
+let test_remove_idempotent () =
+  let inst = Inst.apply_exn [ San.asan ] (heap_prog ()) in
+  let once = Slicer.remove_checks inst in
+  let twice = Slicer.remove_checks once in
+  Alcotest.(check int) "second pass removes nothing" 0
+    (Slicer.removed_instruction_count once twice)
+
+let test_check_distribution_union_covers () =
+  (* The core check-distribution guarantee: split functions over two
+     variants; each alone misses some errors, together they catch
+     everything the full instrumentation catches. *)
+  let base = two_func_prog () in
+  let inst = Inst.apply_exn [ San.asan ] base in
+  (* Variant A keeps checks in reader; variant B keeps checks in writer. *)
+  let variant_a = Slicer.remove_checks ~in_funcs:[ "writer" ] inst in
+  let variant_b = Slicer.remove_checks ~in_funcs:[ "reader" ] inst in
+  let detected m idx =
+    match (run_main m [ Int64.of_int idx ]).Interp.outcome with
+    | Interp.Detected _ -> true
+    | _ -> false
+  in
+  for idx = 0 to 8 do
+    let full = detected inst idx in
+    let union = detected variant_a idx || detected variant_b idx in
+    Alcotest.(check bool) (Printf.sprintf "idx %d union = full" idx) full union
+  done;
+  (* And the split is real: variant A alone misses the oob write. *)
+  Alcotest.(check bool) "A misses write check" false (detected variant_a 5 && not (detected variant_b 5))
+
+(* ------------------------------------------------------------------ *)
+(* Random-program properties: generate small well-formed programs and
+   check the pipeline's metamorphic relations on each. *)
+
+type gop =
+  | GStore of int * int * int (* buffer, in-bounds index, value *)
+  | GLoad of int * int
+  | GArith of int
+  | GPrint
+
+let gen_gop =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map3 (fun b i v -> GStore (b, i, v)) (int_bound 1) (int_bound 3) (int_bound 100));
+        (3, map2 (fun b i -> GLoad (b, i)) (int_bound 1) (int_bound 3));
+        (2, map (fun v -> GArith v) (int_bound 50));
+        (2, return GPrint);
+      ])
+
+let build_program ops =
+  let b = B.create "gen" in
+  B.start_func b ~name:"main" ~params:[];
+  let buf0 = B.call b "malloc" [ B.cst 4 ] in
+  let buf1 = B.call b "malloc" [ B.cst 4 ] in
+  let buf = function 0 -> buf0 | _ -> buf1 in
+  let acc =
+    List.fold_left
+      (fun acc op ->
+        match op with
+        | GStore (bi, i, v) ->
+          B.store b (B.cst v) (B.gep b (buf bi) (B.cst i));
+          acc
+        | GLoad (bi, i) ->
+          (* Ensure the slot is initialised before the read. *)
+          let p = B.gep b (buf bi) (B.cst i) in
+          B.store b acc p;
+          B.add b acc (B.load b p)
+        | GArith v -> B.add b acc (B.cst v)
+        | GPrint ->
+          B.call_void b "print" [ acc ];
+          acc)
+      (B.cst 1) ops
+  in
+  B.call_void b "print" [ acc ];
+  B.ret b (Some acc);
+  B.finish b
+
+let arb_program =
+  QCheck.make
+    ~print:(fun ops -> string_of_int (List.length ops))
+    QCheck.Gen.(list_size (1 -- 25) gen_gop)
+
+let sanitizer_sets =
+  [ [ San.asan ]; [ San.softbound; San.cets ]; [ San.msan ];
+    [ San.asan; Option.get (San.find_ubsan_sub "signed-integer-overflow") ] ]
+
+let prop_generated_pipeline_roundtrip =
+  QCheck.Test.make ~name:"slicer: random programs, instrument;remove ~ baseline" ~count:120
+    arb_program
+    (fun ops ->
+      let base = build_program ops in
+      Verify.check_exn base;
+      let r0 = run_main base [] in
+      List.for_all
+        (fun sans ->
+          let inst = Inst.apply_exn sans base in
+          Verify.check_exn inst;
+          let removed = Slicer.remove_checks inst in
+          Verify.check_exn removed;
+          let r1 = run_main inst [] in
+          let r2 = run_main removed [] in
+          (* Benign by construction: instrumentation must be transparent and
+             removal must restore the baseline exactly. *)
+          Interp.events_equal r0 r1 && Interp.events_equal r0 r2
+          && List.length (Slicer.discover removed) = 0)
+        sanitizer_sets)
+
+let prop_generated_sink_counts =
+  QCheck.Test.make ~name:"slicer: sink count = guarded accesses (asan)" ~count:120
+    arb_program
+    (fun ops ->
+      let base = build_program ops in
+      let inst = Inst.apply_exn [ San.asan ] base in
+      (* ASan guards every load and store: each GStore compiles to one
+         guarded store; each GLoad to one guarded init-store plus one
+         guarded load. *)
+      let expected =
+        List.fold_left
+          (fun acc op ->
+            match op with GStore _ -> acc + 1 | GLoad _ -> acc + 2 | GArith _ | GPrint -> acc)
+          0 ops
+      in
+      List.length (Slicer.discover inst) = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_remove_after_instrument_is_identity_on_behavior =
+  QCheck.Test.make ~name:"slicer: instrument;remove ~ baseline (events)" ~count:100
+    QCheck.(pair (int_range 0 3) (int_range (-5) 5))
+    (fun (idx, _salt) ->
+      let base = heap_prog () in
+      let inst = Inst.apply_exn [ San.asan ] base in
+      let removed = Slicer.remove_checks inst in
+      let r0 = run_main base [ Int64.of_int idx ] in
+      let r1 = run_main removed [ Int64.of_int idx ] in
+      Interp.events_equal r0 r1)
+
+let prop_partial_removal_never_detects_more =
+  QCheck.Test.make ~name:"slicer: removal never adds detections" ~count:60
+    QCheck.(int_range 0 10)
+    (fun idx ->
+      let inst = Inst.apply_exn [ San.asan ] (heap_prog ()) in
+      let removed = Slicer.remove_checks inst in
+      let was_detected =
+        match (run_main inst [ Int64.of_int idx ]).Interp.outcome with
+        | Interp.Detected _ -> true
+        | _ -> false
+      in
+      let now_detected =
+        match (run_main removed [ Int64.of_int idx ]).Interp.outcome with
+        | Interp.Detected _ -> true
+        | _ -> false
+      in
+      (not now_detected) || was_detected)
+
+let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
+
+let () =
+  Alcotest.run "bunshin_slicer"
+    [
+      ( "discovery",
+        [
+          Alcotest.test_case "counts" `Quick test_discover_counts;
+          Alcotest.test_case "identifies handler" `Quick test_discover_identifies_handler;
+          Alcotest.test_case "ignores metadata" `Quick test_discover_ignores_metadata;
+          Alcotest.test_case "per-function counts" `Quick test_per_function_counts;
+        ] );
+      ( "removal",
+        [
+          Alcotest.test_case "restores benign behaviour" `Quick test_remove_restores_benign_behavior;
+          Alcotest.test_case "disables detection" `Quick test_remove_disables_detection;
+          Alcotest.test_case "removes all sinks" `Quick test_remove_removes_all_sinks;
+          Alcotest.test_case "keeps metadata" `Quick test_remove_keeps_metadata;
+          Alcotest.test_case "instruction count" `Quick test_remove_instruction_count;
+          Alcotest.test_case "selected functions only" `Quick test_remove_only_selected_functions;
+          Alcotest.test_case "by handler" `Quick test_remove_by_handler;
+          Alcotest.test_case "idempotent" `Quick test_remove_idempotent;
+          Alcotest.test_case "union covers" `Quick test_check_distribution_union_covers;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_remove_after_instrument_is_identity_on_behavior;
+            prop_partial_removal_never_detects_more;
+            prop_generated_pipeline_roundtrip;
+            prop_generated_sink_counts;
+          ] );
+    ]

@@ -1,0 +1,294 @@
+(* Tests for Bunshin_util: deterministic RNG, statistics, table rendering. *)
+
+module Rng = Bunshin_util.Rng
+module Stats = Bunshin_util.Stats
+module Table = Bunshin_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close msg eps expected actual = Alcotest.(check (float eps)) msg expected actual
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let t = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int t 13 in
+    Alcotest.(check bool) "in [0,13)" true (v >= 0 && v < 13)
+  done
+
+let test_rng_int_in_bounds () =
+  let t = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in t (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  let t = Rng.create 0 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int t 0))
+
+let test_rng_float_bounds () =
+  let t = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.float t 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 10 in
+  let child = Rng.split parent in
+  let xs = List.init 32 (fun _ -> Rng.int64 parent) in
+  let ys = List.init 32 (fun _ -> Rng.int64 child) in
+  Alcotest.(check bool) "substreams differ" true (xs <> ys)
+
+let test_rng_copy_preserves_state () =
+  let a = Rng.create 11 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_uniformity () =
+  (* Coarse check: each of 10 buckets receives 10% +- 3%. *)
+  let t = Rng.create 12 in
+  let buckets = Array.make 10 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    let b = Rng.int t 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "bucket near 0.1" true (frac > 0.07 && frac < 0.13))
+    buckets
+
+let test_rng_gaussian_moments () =
+  let t = Rng.create 13 in
+  let xs = List.init 20000 (fun _ -> Rng.gaussian t ~mean:5.0 ~stddev:2.0) in
+  check_close "mean" 0.1 5.0 (Stats.mean xs);
+  check_close "stddev" 0.1 2.0 (Stats.stddev xs)
+
+let test_rng_exponential_mean () =
+  let t = Rng.create 14 in
+  let xs = List.init 20000 (fun _ -> Rng.exponential t ~mean:3.0) in
+  check_close "mean" 0.15 3.0 (Stats.mean xs)
+
+let test_rng_pareto_bounds () =
+  let t = Rng.create 19 in
+  for _ = 1 to 1000 do
+    let v = Rng.pareto t ~shape:1.5 ~scale:2.0 in
+    Alcotest.(check bool) "above scale" true (v >= 2.0)
+  done
+
+let test_rng_chance_extremes () =
+  let t = Rng.create 15 in
+  Alcotest.(check bool) "p=0" false (Rng.chance t 0.0);
+  Alcotest.(check bool) "p=1" true (Rng.chance t 1.0)
+
+let test_rng_weighted_choice () =
+  let t = Rng.create 16 in
+  let counts = Hashtbl.create 3 in
+  let bump k =
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  in
+  for _ = 1 to 10000 do
+    bump (Rng.weighted_choice t [| ("a", 1.0); ("b", 3.0); ("c", 0.0) |])
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  Alcotest.(check int) "zero-weight never drawn" 0 (get "c");
+  let ratio = float_of_int (get "b") /. float_of_int (get "a") in
+  Alcotest.(check bool) "3x ratio approx" true (ratio > 2.5 && ratio < 3.5)
+
+let test_rng_shuffle_permutation () =
+  let t = Rng.create 17 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_sample_distinct () =
+  let t = Rng.create 18 in
+  let arr = Array.init 20 Fun.id in
+  let s = Rng.sample t 10 arr in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  let uniq = List.sort_uniq compare (Array.to_list s) in
+  Alcotest.(check int) "distinct" 10 (List.length uniq)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_mean () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "empty" 0.0 (Stats.mean [])
+
+let test_stats_geomean () =
+  check_float "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ]);
+  Alcotest.check_raises "non-positive" (Invalid_argument "Stats.geomean: non-positive")
+    (fun () -> ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_stats_stddev () =
+  check_float "constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check_float "two points" 1.0 (Stats.stddev [ 2.0; 4.0 ]);
+  check_float "short lists" 0.0 (Stats.stddev [ 3.0 ])
+
+let test_stats_median () =
+  check_float "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_stats_percentile () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  check_float "p0" 10.0 (Stats.percentile 0.0 xs);
+  check_float "p100" 40.0 (Stats.percentile 100.0 xs);
+  check_float "p50" 25.0 (Stats.percentile 50.0 xs)
+
+let test_stats_overhead () =
+  check_float "7% slowdown" 0.07 (Stats.overhead ~baseline:100.0 ~measured:107.0);
+  check_float "speedup negative" (-0.5) (Stats.overhead ~baseline:2.0 ~measured:1.0)
+
+let test_stats_pct () = Alcotest.(check string) "render" "47.1%" (Stats.pct 0.471)
+
+let test_stats_minmax () =
+  check_float "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  check_float "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_renders_rows () =
+  let t = Table.create ~title:"T" [ ("name", Table.Left); ("v", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  Alcotest.(check bool) "contains alpha" true (contains s "alpha");
+  Alcotest.(check bool) "contains 22" true (contains s "22")
+
+let test_table_wrong_arity () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: wrong number of cells")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_table_alignment () =
+  let t = Table.create [ ("col", Table.Right) ] in
+  Table.add_row t [ "1" ];
+  Table.add_row t [ "100" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  (* Right-aligned: the short value is padded on the left within its cell. *)
+  let row1 = List.nth lines 2 in
+  Alcotest.(check string) "padded" "   1 " row1
+
+let test_table_separator () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Table.add_row t [ "x" ];
+  Table.add_sep t;
+  Table.add_row t [ "y" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  Alcotest.(check int) "line count" 6 (List.length lines)
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests *)
+
+let prop_rng_int_in_range =
+  QCheck.Test.make ~name:"rng: int always within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let t = Rng.create seed in
+      let v = Rng.int t bound in
+      v >= 0 && v < bound)
+
+let prop_shuffle_preserves_multiset =
+  QCheck.Test.make ~name:"rng: shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let t = Rng.create seed in
+      let arr = Array.of_list xs in
+      Rng.shuffle t arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"stats: percentile within min/max" ~count:300
+    QCheck.(pair (float_range 0.0 100.0) (list_of_size Gen.(1 -- 50) (float_range (-1e3) 1e3)))
+    (fun (p, xs) ->
+      let v = Stats.percentile p xs in
+      v >= Stats.minimum xs -. 1e-9 && v <= Stats.maximum xs +. 1e-9)
+
+let prop_mean_between_min_max =
+  QCheck.Test.make ~name:"stats: mean within min/max" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-1e3) 1e3))
+    (fun xs ->
+      let m = Stats.mean xs in
+      m >= Stats.minimum xs -. 1e-9 && m <= Stats.maximum xs +. 1e-9)
+
+let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
+
+let () =
+  Alcotest.run "bunshin_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+          Alcotest.test_case "int rejects bad bound" `Quick test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy preserves state" `Quick test_rng_copy_preserves_state;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "pareto bounds" `Quick test_rng_pareto_bounds;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+          Alcotest.test_case "weighted choice" `Quick test_rng_weighted_choice;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "overhead" `Quick test_stats_overhead;
+          Alcotest.test_case "pct" `Quick test_stats_pct;
+          Alcotest.test_case "minmax" `Quick test_stats_minmax;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders rows" `Quick test_table_renders_rows;
+          Alcotest.test_case "wrong arity" `Quick test_table_wrong_arity;
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "separator" `Quick test_table_separator;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_rng_int_in_range;
+            prop_shuffle_preserves_multiset;
+            prop_percentile_bounded;
+            prop_mean_between_min_max;
+          ] );
+    ]
