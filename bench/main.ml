@@ -643,6 +643,43 @@ let nvariant () =
     (Nvariant.single_layout_escapes ())
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: syscall-gap and lockstep-wait distributions (the histogram
+   refinement of the single avg_syscall_gap scalar), plus the metrics dump *)
+
+let telemetry_section () =
+  section "Telemetry: syscall-gap / lockstep-wait histograms (bzip2)";
+  let build = Program.baseline (Spec.find "bzip2").Bench.prog in
+  let print_hist indent (name, h) =
+    Printf.printf "%s%-18s" indent name;
+    List.iter
+      (fun (b, c) ->
+        if c > 0 then
+          if Float.is_finite b then Printf.printf "  <=%g:%d" b c
+          else Printf.printf "  inf:%d" c)
+      h;
+    print_newline ()
+  in
+  List.iter
+    (fun (label, config, n) ->
+      let r = E.nxe_run ~config ~seed:E.ref_seed (List.init n (fun _ -> build)) in
+      Printf.printf "%s, N=%d (avg gap %.2f, max %d):\n" label n r.Nxe.avg_syscall_gap
+        r.Nxe.max_syscall_gap;
+      List.iter (print_hist "  ") r.Nxe.histograms)
+    [
+      ("strict", Nxe.default_config, 2);
+      ("strict", Nxe.default_config, 3);
+      ("selective", Nxe.selective, 2);
+      ("selective", Nxe.selective, 3);
+    ];
+  Printf.printf "\nmetrics dump of a traced strict N=2 run:\n";
+  let sink = Telemetry.create () in
+  ignore
+    (E.nxe_run
+       ~config:{ Nxe.default_config with Nxe.telemetry = Some sink }
+       ~seed:E.ref_seed [ build; build ]);
+  print_string (Telemetry.metrics_to_text sink)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the heavy kernels of the stack *)
 
 let bechamel_section () =
@@ -712,6 +749,7 @@ let sections =
     ("bb_granularity", bb_granularity);
     ("nvariant", nvariant);
     ("ablations", ablations);
+    ("telemetry", telemetry_section);
     ("bechamel", bechamel_section);
   ]
 

@@ -346,6 +346,72 @@ let nvariant_cmd =
     (Cmd.info "nvariant" ~doc:"Layout-diversification defense demo (disjoint address spaces).")
     Term.(const run $ const ())
 
+let trace_cmd =
+  let bench_arg =
+    let bconv =
+      Arg.conv ((fun s -> find_bench s), fun fmt b -> Format.fprintf fmt "%s" b.Bench.name)
+    in
+    let default = match find_bench "bzip2" with Ok b -> b | Error _ -> assert false in
+    Arg.(value & pos 0 bconv default
+         & info [] ~docv:"BENCH" ~doc:"Benchmark to trace (default bzip2).")
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Chrome trace_event output file.")
+  in
+  let metrics_arg =
+    Arg.(value & opt string "metrics.json"
+         & info [ "metrics" ] ~docv:"FILE" ~doc:"Metrics dump output file.")
+  in
+  let print_hist (name, h) =
+    Printf.printf "  %-18s" name;
+    List.iter
+      (fun (b, c) ->
+        if c > 0 then
+          if Float.is_finite b then Printf.printf "  <=%g:%d" b c
+          else Printf.printf "  inf:%d" c)
+      h;
+    print_newline ()
+  in
+  let run bench n config out metrics_file =
+    let sink = Telemetry.create () in
+    let config = { config with Nxe.telemetry = Some sink } in
+    (* Stage 1: the benchmark as N identical baseline builds under the NXE —
+       populates the machine and nxe clock domains. *)
+    let builds = List.init n (fun _ -> Program.baseline bench.Bench.prog) in
+    let r = Experiments.nxe_run ~config ~seed:Experiments.ref_seed builds in
+    Printf.printf "bench stage: %s x%d, %.0f us, synced %d syscalls (%d locksteped)\n"
+      bench.Bench.name n r.Nxe.total_time r.Nxe.synced_syscalls r.Nxe.lockstep_syscalls;
+    List.iter print_hist r.Nxe.histograms;
+    (* Stage 2: a full-stack IR run (sanitized CVE module, benign input,
+       two variants) — populates the per-variant interp domains. *)
+    (match Cve.cases with
+     | case :: _ ->
+       let inst = Instrument.apply_exn [ Sanitizer.asan ] case.Cve.c_modul in
+       let ir =
+         Bridge.run_ir_variants ~config ~entry:case.Cve.c_entry ~args:case.Cve.c_benign
+           [ inst; inst ]
+       in
+       Printf.printf "ir stage: %s (benign input), %.0f us, synced %d syscalls\n"
+         case.Cve.c_program ir.Nxe.total_time ir.Nxe.synced_syscalls
+     | [] -> ());
+    let write file contents =
+      try Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc contents)
+      with Sys_error e ->
+        Printf.eprintf "cannot write %s: %s\n" file e;
+        exit 1
+    in
+    write out (Telemetry.to_chrome_json sink);
+    write metrics_file (Telemetry.metrics_to_json sink);
+    Printf.printf "wrote %s (%d events, %d dropped) and %s\n" out
+      (Telemetry.event_count sink) (Telemetry.dropped_events sink) metrics_file
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a traced session and export a Chrome trace_event JSON (open in \
+             chrome://tracing or Perfetto) plus a metrics dump.")
+    Term.(const run $ bench_arg $ n_arg $ lockstep_arg $ out_arg $ metrics_arg)
+
 let robustness_cmd =
   let run () =
     let results = Experiments.robustness () in
@@ -368,7 +434,7 @@ let main =
        ~doc:"N-version execution that composites security mechanisms through diversification.")
     [
       list_cmd; profile_cmd; generate_cmd; run_cmd; exec_cmd; ripe_cmd; cve_cmd;
-      window_cmd; nvariant_cmd; robustness_cmd;
+      window_cmd; nvariant_cmd; robustness_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main)

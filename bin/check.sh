@@ -1,0 +1,21 @@
+#!/bin/sh
+# Repo health check: formatting (when ocamlformat is available), full build,
+# and the test suite.  Intended as the single command CI or a pre-commit
+# hook runs.
+set -e
+cd "$(dirname "$0")/.."
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== skipping @fmt (ocamlformat not installed)"
+fi
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+echo "OK"

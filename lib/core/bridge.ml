@@ -34,9 +34,19 @@ let trace_of_run ?(us_per_kinstr = 10.0) (run : Interp.run) =
   go 0 run.Interp.timeline
 
 let run_ir_variants ?config ?us_per_kinstr ~entry ~args moduls =
+  let sink = Option.bind config (fun c -> c.Nxe.telemetry) in
   let traces =
-    List.map
-      (fun m -> trace_of_run ?us_per_kinstr (Interp.run m ~entry ~args))
+    List.mapi
+      (fun i m ->
+        (* Each variant interprets in its own instruction-step clock domain
+           ("interp:v0", "interp:v1", ...) on the NXE's sink, if any. *)
+        let telemetry =
+          Option.map
+            (fun s ->
+              Bunshin_telemetry.Telemetry.domain s ~name:(Printf.sprintf "interp:v%d" i))
+            sink
+        in
+        trace_of_run ?us_per_kinstr (Interp.run ?telemetry m ~entry ~args))
       moduls
   in
   let names = List.mapi (fun i _ -> Printf.sprintf "ir-v%d" i) moduls in

@@ -29,4 +29,7 @@ val run_ir_variants :
     traces, and synchronize them under the NXE (variant 0 leads).  A
     divergence alert here is the full-stack reproduction of the paper's
     detection story: sliced variants agree on benign inputs and diverge at
-    the report syscall under attack. *)
+    the report syscall under attack.  When [config.telemetry] is set, each
+    variant's interpretation is traced in its own instruction-step domain
+    ([interp:v0], [interp:v1], ...) on the same sink, alongside the nxe and
+    machine domains. *)

@@ -25,6 +25,7 @@ module Ir_parser = Bunshin_ir.Parser
 module Simplify = Bunshin_ir.Simplify
 module Cfg = Bunshin_ir.Cfg
 module Syscall = Bunshin_syscall.Syscall
+module Telemetry = Bunshin_telemetry.Telemetry
 module Machine = Bunshin_machine.Machine
 module Pthreads = Bunshin_machine.Pthreads
 module Memory_error = Bunshin_sanitizer.Memory_error

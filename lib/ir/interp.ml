@@ -1,4 +1,5 @@
 open Ast
+module Tel = Bunshin_telemetry.Telemetry
 
 type event = Output of int64 | Syscall of string * int64 list
 
@@ -56,6 +57,15 @@ type region_kind = RAlloc of alloc | RRedzone
 
 type cell = { mutable cv : rvalue; mutable cinit : bool }
 
+(* Trace handle: the interpreter's clock is the instruction counter, so its
+   events live in their own telemetry domain, never mixed with machine µs. *)
+type itel = {
+  i_dom : Tel.domain;
+  i_hits : Tel.Counter.t;   (* check intrinsics evaluated *)
+  i_fails : Tel.Counter.t;  (* of those, how many returned "unsafe" *)
+  i_detect : Tel.Counter.t; (* report handlers fired *)
+}
+
 type state = {
   cfg : config;
   modul : modul;
@@ -71,6 +81,7 @@ type state = {
   mutable timeline_rev : (int * event) list;
   mutable hazards_rev : hazard list;
   mutable steps : int;
+  tel : itel option;
 }
 
 exception Trap of outcome
@@ -107,7 +118,7 @@ let allocate st size =
   st.next_addr <- base + size + st.cfg.redzone;
   a
 
-let init_state cfg modul =
+let init_state ?telemetry cfg modul =
   let st =
     {
       cfg;
@@ -130,6 +141,18 @@ let init_state cfg modul =
       timeline_rev = [];
       hazards_rev = [];
       steps = 0;
+      tel =
+        Option.map
+          (fun dom ->
+            let sink = Tel.domain_sink dom in
+            let p = Tel.domain_name dom in
+            {
+              i_dom = dom;
+              i_hits = Tel.counter sink (p ^ ".check_hits");
+              i_fails = Tel.counter sink (p ^ ".check_fails");
+              i_detect = Tel.counter sink (p ^ ".detections");
+            })
+          telemetry;
     }
   in
   List.iteri
@@ -271,14 +294,22 @@ let check_result b = VInt (if b then 1L else 0L)
 
 let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
-let call_intrinsic st ~in_func name args =
+let call_intrinsic_raw st ~in_func name args =
   let arg n =
     match List.nth_opt args n with
     | Some v -> v
     | None -> invalid_arg (Printf.sprintf "intrinsic %s: missing argument %d" name n)
   in
-  if Runtime_api.is_report_handler name then
+  if Runtime_api.is_report_handler name then begin
+    (match st.tel with
+     | Some tel ->
+       Tel.Counter.incr tel.i_detect;
+       Tel.instant tel.i_dom
+         ~args:[ ("handler", name); ("func", in_func) ]
+         ~ts:(float_of_int st.steps) ~cat:"interp" "detected"
+     | None -> ());
     raise (Trap (Detected { d_handler = name; d_func = in_func }))
+  end
   else if name = Runtime_api.print then begin
     record_event st (Output (to_int st (arg 0)));
     VInt 0L
@@ -327,6 +358,15 @@ let call_intrinsic st ~in_func name args =
     VInt 0L
   end
   else invalid_arg ("Interp: unknown intrinsic " ^ name)
+
+let call_intrinsic st ~in_func name args =
+  match st.tel with
+  | Some tel when List.mem name Runtime_api.helpers ->
+    let r = call_intrinsic_raw st ~in_func name args in
+    Tel.Counter.incr tel.i_hits;
+    (match r with VInt 0L -> Tel.Counter.incr tel.i_fails | _ -> ());
+    r
+  | _ -> call_intrinsic_raw st ~in_func name args
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)
@@ -430,13 +470,25 @@ let rec exec_call st ~depth ~caller fname (args : rvalue list) : rvalue =
       | Some b -> run_block (Some from) b
       | None -> invalid_arg (Printf.sprintf "Interp: %s: jump to unknown block %s" fname l)
     in
-    run_block None (entry_block f)
+    (match st.tel with
+     | None -> run_block None (entry_block f)
+     | Some tel ->
+       (* Span per function activation on the instruction-step clock; the
+          end event must also fire when a Trap unwinds through us. *)
+       Tel.span_begin tel.i_dom ~ts:(float_of_int st.steps) ~cat:"interp" fname;
+       (match run_block None (entry_block f) with
+        | r ->
+          Tel.span_end tel.i_dom ~ts:(float_of_int st.steps) ~cat:"interp" fname;
+          r
+        | exception e ->
+          Tel.span_end tel.i_dom ~ts:(float_of_int st.steps) ~cat:"interp" fname;
+          raise e))
 
-let run ?(config = default_config) modul ~entry ~args =
+let run ?(config = default_config) ?telemetry modul ~entry ~args =
   (match find_func modul entry with
    | Some _ -> ()
    | None -> invalid_arg ("Interp.run: no such function " ^ entry));
-  let st = init_state config modul in
+  let st = init_state ?telemetry config modul in
   let outcome =
     try
       let v = exec_call st ~depth:0 ~caller:entry entry (List.map (fun n -> VInt n) args) in

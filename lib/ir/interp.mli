@@ -72,8 +72,21 @@ type config = {
 
 val default_config : config
 
-val run : ?config:config -> modul -> entry:string -> args:int64 list -> run
+val run :
+  ?config:config ->
+  ?telemetry:Bunshin_telemetry.Telemetry.domain ->
+  modul ->
+  entry:string ->
+  args:int64 list ->
+  run
 (** Execute [entry] with the given integer arguments.
+
+    [telemetry] attaches the run to a trace domain whose clock is the
+    {e instruction counter} (not machine time): one span per function
+    activation (category ["interp"]), a ["detected"] instant when a report
+    handler fires, and counters [<domain>.check_hits] / [.check_fails] /
+    [.detections] on the domain's sink.  Omitted, every instrumentation
+    point is a no-op and the {!run} result is identical.
     @raise Invalid_argument if [entry] does not exist or arity mismatches. *)
 
 val address_of_global : ?config:config -> modul -> string -> int64

@@ -41,6 +41,10 @@ val shift_ok : string
     indirect-call target check). *)
 val code_ptr_ok : string
 
+(** All of the check helpers above, for membership tests (e.g. the
+    interpreter's per-variant check-hit counters). *)
+val helpers : string list
+
 (** The stack-cookie canary value stored below the return context. *)
 val canary_value : int64
 

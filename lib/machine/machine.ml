@@ -1,5 +1,6 @@
 open Effect
 open Effect.Deep
+module Tel = Bunshin_telemetry.Telemetry
 
 type config = {
   cores : int;
@@ -56,6 +57,18 @@ type event = Burst_end of thread * int * float * float | Wake_at of thread
 
 type core = { mutable c_last : int; mutable c_busy : bool; mutable c_budget : float }
 
+(* Telemetry handles, resolved once at creation so the per-event cost is a
+   field read; [tel = None] keeps every instrumentation point a no-op. *)
+type tel = {
+  t_dom : Tel.domain;
+  t_sched_tid : int; (* lane for scheduler-level instants (park/wake/pressure) *)
+  t_ctx : Tel.Counter.t;
+  t_parks : Tel.Counter.t;
+  t_wakes : Tel.Counter.t;
+  t_pressure : Tel.Gauge.t;
+  mutable t_last_pressure : float;
+}
+
 type t = {
   cfg : config;
   heap : event Event_heap.t;
@@ -69,6 +82,7 @@ type t = {
   mutable next_tid : int;
   mutable ctx_switches : int;
   mutable pressure_peak : float;
+  tel : tel option;
 }
 
 type _ Effect.t +=
@@ -79,8 +93,28 @@ type _ Effect.t +=
 
 exception Deadlock of string
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?telemetry () =
   if config.cores < 1 then invalid_arg "Machine.create: need at least one core";
+  let tel =
+    Option.map
+      (fun sink ->
+        let dom = Tel.domain sink ~name:"machine" in
+        for ci = 0 to config.cores - 1 do
+          Tel.name_track dom ~tid:ci (Printf.sprintf "core%d" ci)
+        done;
+        let sched_tid = config.cores in
+        Tel.name_track dom ~tid:sched_tid "scheduler";
+        {
+          t_dom = dom;
+          t_sched_tid = sched_tid;
+          t_ctx = Tel.counter sink "machine.ctx_switches";
+          t_parks = Tel.counter sink "machine.parks";
+          t_wakes = Tel.counter sink "machine.wakes";
+          t_pressure = Tel.gauge sink "machine.cache_pressure";
+          t_last_pressure = 0.0;
+        })
+      telemetry
+  in
   {
     cfg = config;
     heap = Event_heap.create ();
@@ -95,6 +129,7 @@ let create ?(config = default_config) () =
     next_tid = 0;
     ctx_switches = 0;
     pressure_peak = 0.0;
+    tel;
   }
 
 let now t = t.clock
@@ -160,11 +195,16 @@ let yield t =
   perform E_yield
 
 let wake t th =
-  ignore t;
   match th.state with
   | Blocked ->
     th.state <- Ready;
-    Queue.push th t.runq
+    Queue.push th t.runq;
+    (match t.tel with
+     | Some tel ->
+       Tel.Counter.incr tel.t_wakes;
+       Tel.instant tel.t_dom ~tid:tel.t_sched_tid ~args:[ ("thread", th.tname) ] ~ts:t.clock
+         ~cat:"machine" "wake"
+     | None -> ())
   | Ready | Running | Sleeping -> th.wake_pending <- true
   | Finished -> ()
 
@@ -185,6 +225,16 @@ let active_pressure t =
 let multiplier t th =
   let pressure = active_pressure t in
   if pressure > t.pressure_peak then t.pressure_peak <- pressure;
+  (match t.tel with
+   | Some tel ->
+     Tel.Gauge.set tel.t_pressure pressure;
+     if Float.abs (pressure -. tel.t_last_pressure) > 1e-9 then begin
+       tel.t_last_pressure <- pressure;
+       Tel.instant tel.t_dom ~tid:tel.t_sched_tid
+         ~args:[ ("pressure", Printf.sprintf "%.3f" pressure) ]
+         ~ts:t.clock ~cat:"machine" "cache_pressure"
+     end
+   | None -> ());
   if pressure <= 1.0 then 1.0
   else
     (* Extra miss fraction grows with over-subscription, asymptoting to 1.
@@ -223,7 +273,13 @@ let handler t th =
           Some
             (fun (k : (a, unit) continuation) ->
               th.k <- Suspended k;
-              th.state <- Blocked)
+              th.state <- Blocked;
+              match t.tel with
+              | Some tel ->
+                Tel.Counter.incr tel.t_parks;
+                Tel.instant tel.t_dom ~tid:tel.t_sched_tid ~args:[ ("thread", th.tname) ]
+                  ~ts:t.clock ~cat:"machine" "park"
+              | None -> ())
         | E_yield ->
           Some
             (fun (k : (a, unit) continuation) ->
@@ -269,6 +325,12 @@ let start_burst t th ci =
     if core.c_last <> th.id then begin
       t.ctx_switches <- t.ctx_switches + 1;
       core.c_budget <- t.cfg.quantum;
+      (match t.tel with
+       | Some tel ->
+         Tel.Counter.incr tel.t_ctx;
+         Tel.instant tel.t_dom ~tid:ci ~args:[ ("to", th.tname) ] ~ts:t.clock ~cat:"machine"
+           "ctx_switch"
+       | None -> ());
       t.cfg.ctx_switch_cost
     end
     else 0.0
@@ -368,6 +430,13 @@ let handle_event t = function
     t.cores.(ci).c_busy <- false;
     th.remaining <- th.remaining -. slice;
     th.cpu <- th.cpu +. effective;
+    (match t.tel with
+     | Some tel ->
+       (* One complete span per CPU burst, on the core's lane: the trace
+          shows exactly how the scheduler packed threads onto cores. *)
+       Tel.span_complete tel.t_dom ~tid:ci ~ts:(t.clock -. effective) ~dur:effective
+         ~cat:"machine" th.tname
+     | None -> ());
     if th.remaining > 1e-12 then make_ready t th else resume_fiber t th
 
 let run t =

@@ -28,7 +28,13 @@ type config = {
 val default_config : config
 (** 4 cores, 250us quantum, 1us context switch, generous LLC. *)
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?telemetry:Bunshin_telemetry.Telemetry.sink -> unit -> t
+(** [telemetry] attaches the machine to a trace sink: it opens a ["machine"]
+    clock domain (simulated µs) with one track per core plus a scheduler
+    track, and records CPU bursts as complete spans, context switches,
+    park/wake instants, and cache-pressure samples
+    ([machine.cache_pressure] gauge).  Without it every instrumentation
+    point is a no-op — the schedule is identical either way. *)
 
 val now : t -> float
 (** Current simulated time. *)

@@ -4,6 +4,7 @@ module Sc = Bunshin_syscall.Syscall
 module Trace = Bunshin_program.Trace
 module Program = Bunshin_program.Program
 module Vec = Bunshin_util.Vec
+module Tel = Bunshin_telemetry.Telemetry
 
 type mode = Strict_lockstep | Selective_lockstep
 
@@ -16,6 +17,7 @@ type config = {
   resched_cost : float;
   weak_determinism : bool;
   sync_shared_memory : bool;
+  telemetry : Tel.sink option;
 }
 
 let default_config =
@@ -31,6 +33,7 @@ let default_config =
     resched_cost = 0.25;
     weak_determinism = true;
     sync_shared_memory = true;
+    telemetry = None;
   }
 
 let selective = { default_config with mode = Selective_lockstep }
@@ -55,6 +58,7 @@ type report = {
   order_list_length : int;
   det_replays : int;
   channels : int;
+  histograms : (string * (float * int) list) list;
   machine_stats : M.stats;
 }
 
@@ -85,10 +89,27 @@ type det = {
   d_qs : M.Waitq.t array; (* per follower variant *)
 }
 
+(* Trace handle: present only when [config.telemetry] is set.  The
+   histograms below are NOT here — they are always-on (they feed
+   [report.histograms]) so enabling tracing cannot change the report. *)
+type tel = {
+  t_dom : Tel.domain;
+  t_publish : Tel.Counter.t;
+  t_fetch : Tel.Counter.t;
+  t_locksteps : Tel.Counter.t;
+  t_replays : Tel.Counter.t;
+  t_alerts : Tel.Counter.t;
+  t_forks : Tel.Counter.t;
+  t_spawns : Tel.Counter.t;
+}
+
 type t = {
   cfg : config;
   n : int;
   machine : M.t;
+  tel : tel option;
+  h_gap : Tel.Hist.t;  (* leader run-ahead distance, slots *)
+  h_wait : Tel.Hist.t; (* blocked time at sync points, us *)
   working_sets : float array;
   sensitivities : float array;
   names : string array;
@@ -116,9 +137,25 @@ type t = {
 
 let aborted nxe = nxe.failed <> None
 
+(* Chrome-trace lane for (channel, variant): one track per logical thread
+   per variant, so publish/fetch spans line up visually. *)
+let lane nxe chan ~variant = (chan.ch_id * nxe.n) + variant
+
 let fail nxe alert =
   if nxe.failed = None then begin
     nxe.failed <- Some alert;
+    (match nxe.tel with
+     | Some tel ->
+       Tel.Counter.incr tel.t_alerts;
+       Tel.instant tel.t_dom
+         ~args:
+           [
+             ("variant", string_of_int alert.al_variant);
+             ("expected", alert.al_expected);
+             ("got", alert.al_got);
+           ]
+         ~ts:(M.now nxe.machine) ~cat:"nxe" "divergence"
+     | None -> ());
     let m = nxe.machine in
     List.iter
       (fun ch ->
@@ -149,6 +186,13 @@ let get_chan nxe path =
     nxe.chan_count <- nxe.chan_count + 1;
     nxe.all_chans <- c :: nxe.all_chans;
     Hashtbl.replace nxe.chan_reg path c;
+    (match nxe.tel with
+     | Some tel ->
+       for v = 0 to nxe.n - 1 do
+         Tel.name_track tel.t_dom ~tid:(lane nxe c ~variant:v)
+           (Printf.sprintf "%s v%d" path v)
+       done
+     | None -> ());
     c
 
 let get_det nxe path =
@@ -221,6 +265,13 @@ let wake_followers nxe chan = Array.iter (M.Waitq.broadcast nxe.machine) chan.fo
 
 let leader_sync nxe chan sc =
   let m = nxe.machine in
+  let tid = lane nxe chan ~variant:0 in
+  (match nxe.tel with
+   | Some tel ->
+     Tel.Counter.incr tel.t_publish;
+     Tel.span_begin tel.t_dom ~tid ~args:[ ("sc", sc.Sc.name) ] ~ts:(M.now m) ~cat:"nxe"
+       "publish"
+   | None -> ());
   M.compute m nxe.cfg.checkin_cost;
   let pos = chan.leader_pos in
   Vec.push chan.slots { s_sc = sc; s_ready = false; s_arrived = 0 };
@@ -230,14 +281,17 @@ let leader_sync nxe chan sc =
   if Array.length chan.cursors > 0 then begin
     nxe.gap_sum <- nxe.gap_sum +. float_of_int gap;
     nxe.gap_count <- nxe.gap_count + 1;
+    Tel.Hist.observe nxe.h_gap (float_of_int gap);
     if gap > nxe.gap_max then nxe.gap_max <- gap
   end;
   wake_followers nxe chan;
   let slot = Vec.get chan.slots pos in
   let lockstep = nxe.cfg.mode = Strict_lockstep || Sc.is_lockstep_selected sc in
   let blocked = ref false in
+  let wait_from = M.now m in
   if lockstep then begin
     nxe.locksteps <- nxe.locksteps + 1;
+    (match nxe.tel with Some tel -> Tel.Counter.incr tel.t_locksteps | None -> ());
     (* Execute only after every live follower has arrived and agreed. *)
     let rec wait_arrivals () =
       if aborted nxe then ()
@@ -272,22 +326,33 @@ let leader_sync nxe chan sc =
       M.Waitq.wait m chan.leader_q
     done
   end;
+  if !blocked then Tel.Hist.observe nxe.h_wait (M.now m -. wait_from);
   if !blocked && not (aborted nxe) then M.compute m nxe.cfg.resched_cost;
   if not (aborted nxe) then begin
     M.compute m (Sc.base_cost sc);
     slot.s_ready <- true;
+    (match nxe.tel with
+     | Some tel when lockstep ->
+       Tel.instant tel.t_dom ~tid ~args:[ ("sc", sc.Sc.name) ] ~ts:(M.now m) ~cat:"nxe"
+         "lockstep:release"
+     | _ -> ());
     wake_followers nxe chan
-  end
+  end;
+  match nxe.tel with
+  | Some tel -> Tel.span_end tel.t_dom ~tid ~ts:(M.now m) ~cat:"nxe" "publish"
+  | None -> ()
 
-let rec follower_sync ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
+let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
   let m = nxe.machine in
   let i = variant - 1 in
   let pos = chan.cursors.(i) in
   let blocked_for_slot = ref false in
+  let wait_from = M.now m in
   while (not (aborted nxe)) && chan.leader_pos <= pos && not chan.leader_done do
     blocked_for_slot := true;
     M.Waitq.wait m chan.fol_q.(i)
   done;
+  if !blocked_for_slot then Tel.Hist.observe nxe.h_wait (M.now m -. wait_from);
   if !blocked_for_slot && not (aborted nxe) then M.compute m nxe.cfg.resched_cost;
   if aborted nxe then ()
   else if
@@ -311,7 +376,7 @@ let rec follower_sync ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
        | [ idx ] when Int64.to_int idx < Array.length nxe.signal_handlers ->
          on_signal nxe.signal_handlers.(Int64.to_int idx)
        | _ -> ());
-      follower_sync ~on_signal nxe chan ~variant sc
+      follower_sync_body ~on_signal nxe chan ~variant sc
     end
   end
   else if chan.leader_pos <= pos then
@@ -337,12 +402,19 @@ let rec follower_sync ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
         }
     else begin
       slot.s_arrived <- slot.s_arrived + 1;
+      (match nxe.tel with
+       | Some tel ->
+         Tel.instant tel.t_dom ~tid:(lane nxe chan ~variant)
+           ~args:[ ("sc", sc.Sc.name) ] ~ts:(M.now m) ~cat:"nxe" "lockstep:arrive"
+       | None -> ());
       M.Waitq.signal m chan.leader_q;
       let blocked = ref false in
+      let ready_from = M.now m in
       while (not (aborted nxe)) && not slot.s_ready do
         blocked := true;
         M.Waitq.wait m chan.fol_q.(i)
       done;
+      if !blocked then Tel.Hist.observe nxe.h_wait (M.now m -. ready_from);
       if not (aborted nxe) then begin
         M.compute m (if !blocked then nxe.cfg.fetch_cost +. nxe.cfg.resched_cost
                      else nxe.cfg.fetch_cost);
@@ -352,16 +424,30 @@ let rec follower_sync ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
     end
   end
 
+let follower_sync ?on_signal nxe chan ~variant sc =
+  match nxe.tel with
+  | None -> follower_sync_body ?on_signal nxe chan ~variant sc
+  | Some tel ->
+    let m = nxe.machine in
+    let tid = lane nxe chan ~variant in
+    Tel.Counter.incr tel.t_fetch;
+    Tel.span_begin tel.t_dom ~tid ~args:[ ("sc", sc.Sc.name) ] ~ts:(M.now m) ~cat:"nxe"
+      "fetch";
+    follower_sync_body ?on_signal nxe chan ~variant sc;
+    Tel.span_end tel.t_dom ~tid ~ts:(M.now m) ~cat:"nxe" "fetch"
+
 (* Shared-memory propagation: like follower_sync, but the slot carries
    content to adopt rather than arguments to compare. *)
 let follower_shared_fetch nxe chan ~variant ~pos dst =
   let m = nxe.machine in
   let i = variant - 1 in
   let blocked = ref false in
+  let wait_from = M.now m in
   while (not (aborted nxe)) && chan.leader_pos <= pos && not chan.leader_done do
     blocked := true;
     M.Waitq.wait m chan.fol_q.(i)
   done;
+  if !blocked then Tel.Hist.observe nxe.h_wait (M.now m -. wait_from);
   if aborted nxe then ()
   else if chan.leader_pos <= pos then
     fail nxe
@@ -389,10 +475,12 @@ let follower_shared_fetch nxe chan ~variant ~pos dst =
       slot.s_arrived <- slot.s_arrived + 1;
       M.Waitq.signal m chan.leader_q;
       let blocked2 = ref !blocked in
+      let ready_from = M.now m in
       while (not (aborted nxe)) && not slot.s_ready do
         blocked2 := true;
         M.Waitq.wait m chan.fol_q.(i)
       done;
+      if M.now m > ready_from then Tel.Hist.observe nxe.h_wait (M.now m -. ready_from);
       if not (aborted nxe) then begin
         M.compute m
           (if !blocked2 then nxe.cfg.fetch_cost +. nxe.cfg.resched_cost else nxe.cfg.fetch_cost);
@@ -406,9 +494,10 @@ let follower_shared_fetch nxe chan ~variant ~pos dst =
 (* Weak determinism: replay the leader's total order of locking-primitive
    operations (the synccall protocol of §4.2). *)
 
-let det_order_op nxe det ~variant ~ltid =
+let det_order_op nxe det ~variant ~chan =
   if nxe.cfg.weak_determinism then begin
     let m = nxe.machine in
+    let ltid = chan.ch_path in
     M.compute m nxe.cfg.synccall_cost;
     if variant = 0 then begin
       Vec.push det.d_order ltid;
@@ -427,6 +516,12 @@ let det_order_op nxe det ~variant ~ltid =
       if not (aborted nxe) then begin
         det.d_cursors.(i) <- det.d_cursors.(i) + 1;
         nxe.replays <- nxe.replays + 1;
+        (match nxe.tel with
+         | Some tel ->
+           Tel.Counter.incr tel.t_replays;
+           Tel.instant tel.t_dom ~tid:(lane nxe chan ~variant) ~ts:(M.now m) ~cat:"nxe"
+             "det:replay"
+         | None -> ());
         M.Waitq.broadcast m det.d_qs.(i)
       end
     end
@@ -528,17 +623,23 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
           end
           else dst := 0L (* stale local copy *)
         | Trace.Lock id ->
-          det_order_op nxe det ~variant ~ltid:chan.ch_path;
+          det_order_op nxe det ~variant ~chan;
           Pthreads.lock m pth id
         | Trace.Unlock id -> Pthreads.unlock m pth id
         | Trace.Barrier (id, expected) ->
-          det_order_op nxe det ~variant ~ltid:chan.ch_path;
+          det_order_op nxe det ~variant ~chan;
           Pthreads.barrier m pth id expected
         | Trace.Spawn sub ->
           let k = !spawn_count in
           incr spawn_count;
           M.compute m (Sc.base_cost (Sc.clone_thread ()));
           let child = get_chan nxe (Printf.sprintf "%s/s%d" chan.ch_path k) in
+          (match nxe.tel with
+           | Some tel ->
+             Tel.Counter.incr tel.t_spawns;
+             Tel.instant tel.t_dom ~tid:(lane nxe chan ~variant)
+               ~args:[ ("child", child.ch_path) ] ~ts:(M.now m) ~cat:"nxe" "spawn"
+           | None -> ());
           ignore
             (M.spawn m proc ~name:(Printf.sprintf "%s:t%s" nxe.names.(variant) child.ch_path)
                (exec_ops nxe ~variant ~chan:child ~ppath ~proc ~pth ~det
@@ -552,6 +653,12 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
           let cpath = Printf.sprintf "%s/f%d" ppath k in
           let cproc = get_proc nxe cpath variant in
           let cchan = get_chan nxe (Printf.sprintf "%s/f%d" chan.ch_path k) in
+          (match nxe.tel with
+           | Some tel ->
+             Tel.Counter.incr tel.t_forks;
+             Tel.instant tel.t_dom ~tid:(lane nxe chan ~variant)
+               ~args:[ ("group", cchan.ch_path) ] ~ts:(M.now m) ~cat:"nxe" "fork"
+           | None -> ());
           let cpth = get_pth nxe cpath variant in
           let cdet = get_det nxe cpath in
           ignore
@@ -577,6 +684,16 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
   let n = List.length traces in
   if n < 1 then invalid_arg "Nxe.run_traces: need at least one variant";
   if List.length names <> n then invalid_arg "Nxe.run_traces: names/traces length mismatch";
+  List.iter
+    (fun (label, c) ->
+      if c < 0.0 || not (Float.is_finite c) then
+        invalid_arg (Printf.sprintf "Nxe.run_traces: %s must be non-negative" label))
+    [
+      ("checkin_cost", config.checkin_cost);
+      ("fetch_cost", config.fetch_cost);
+      ("synccall_cost", config.synccall_cost);
+      ("resched_cost", config.resched_cost);
+    ];
   let working_sets =
     match working_sets with
     | Some ws ->
@@ -592,14 +709,49 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
     | None -> Array.make n 1.0
   in
   let machine =
-    match machine_config with Some c -> M.create ~config:c () | None -> M.create ()
+    match machine_config with
+    | Some c -> M.create ~config:c ?telemetry:config.telemetry ()
+    | None -> M.create ?telemetry:config.telemetry ()
   in
   (match on_machine with Some hook -> hook machine | None -> ());
+  let tel =
+    Option.map
+      (fun sink ->
+        {
+          t_dom = Tel.domain sink ~name:"nxe";
+          t_publish = Tel.counter sink "nxe.slot_publish";
+          t_fetch = Tel.counter sink "nxe.slot_fetch";
+          t_locksteps = Tel.counter sink "nxe.locksteps";
+          t_replays = Tel.counter sink "nxe.det_replays";
+          t_alerts = Tel.counter sink "nxe.divergence_alerts";
+          t_forks = Tel.counter sink "nxe.forks";
+          t_spawns = Tel.counter sink "nxe.spawns";
+        })
+      config.telemetry
+  in
+  (* Always-on: these feed [report.histograms], so they must not depend on
+     whether a sink is attached.  Gap is in ring slots, wait in machine us. *)
+  let h_gap =
+    Tel.Hist.create ~buckets:[ 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. ] ()
+  in
+  let h_wait =
+    Tel.Hist.create
+      ~buckets:[ 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 5000. ]
+      ()
+  in
+  (match config.telemetry with
+   | Some sink ->
+     ignore (Tel.register_hist sink "nxe.syscall_gap" h_gap);
+     ignore (Tel.register_hist sink "nxe.lockstep_wait_us" h_wait)
+   | None -> ());
   let nxe =
     {
       cfg = config;
       n;
       machine;
+      tel;
+      h_gap;
+      h_wait;
       working_sets;
       sensitivities;
       names = Array.of_list names;
@@ -672,6 +824,11 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
     order_list_length = nxe.order_len;
     det_replays = nxe.replays;
     channels = nxe.chan_count;
+    histograms =
+      [
+        ("syscall_gap", Tel.Hist.dump nxe.h_gap);
+        ("lockstep_wait_us", Tel.Hist.dump nxe.h_wait);
+      ];
     machine_stats = M.stats machine;
   }
 

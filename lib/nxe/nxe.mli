@@ -32,18 +32,31 @@ type mode = Strict_lockstep | Selective_lockstep
 type config = {
   mode : mode;
   ring_capacity : int;      (** slots a leader may run ahead (selective) *)
-  checkin_cost : float;     (** us to publish args/results into a slot *)
-  fetch_cost : float;       (** us for a follower to consume a slot *)
-  synccall_cost : float;    (** us per weak-determinism ordering operation *)
-  resched_cost : float;     (** futex sleep/wake + scheduler latency, paid
-                                whenever a party actually blocks at a sync
-                                point — the strict-mode "scheduled in and
-                                out" cost (§3.3) *)
+  checkin_cost : float;     (** µs to publish args/results into a slot *)
+  fetch_cost : float;       (** µs for a follower to consume a slot *)
+  synccall_cost : float;    (** µs per weak-determinism ordering operation *)
+  resched_cost : float;     (** µs of futex sleep/wake + scheduler latency,
+                                paid whenever a party actually blocks at a
+                                sync point — the strict-mode "scheduled in
+                                and out" cost (§3.3) *)
   weak_determinism : bool;  (** replay leader's lock order in followers *)
   sync_shared_memory : bool;
       (** §3.3's poisoned-page mechanism: copy externally-shared mapped
           content from the leader to followers on access *)
+  telemetry : Bunshin_telemetry.Telemetry.sink option;
+      (** attach a trace sink: the engine opens an ["nxe"] clock domain
+          (machine µs) with one track per (channel, variant), records
+          publish/fetch spans, lockstep arrive/release, divergence, fork,
+          spawn and weak-determinism replay events, and shares its
+          syscall-gap / lockstep-wait histograms with the sink (as
+          ["nxe.syscall_gap"] / ["nxe.lockstep_wait_us"]).  The sink is
+          also handed to the underlying machine (see
+          {!Bunshin_machine.Machine.create}).  [None] (the default) makes
+          every instrumentation point a no-op; the {!report} is identical
+          either way. *)
 }
+(** All [*_cost] fields are in simulated microseconds — the same unit as
+    {!M.config} quanta and every time in {!report}. *)
 
 val default_config : config
 (** Strict lockstep, 64-slot ring, sub-microsecond slot costs. *)
@@ -72,6 +85,13 @@ type report = {
   order_list_length : int;      (** weak-determinism operations recorded *)
   det_replays : int;            (** follower lock-order replays performed *)
   channels : int;               (** syscall channels (execution-group streams) *)
+  histograms : (string * (float * int) list) list;
+      (** always-on distributions, in the [(upper_bound, count)] shape of
+          {!Bunshin_util.Stats.histogram}: ["syscall_gap"] (leader
+          run-ahead distance in slots, sampled at each leader publish) and
+          ["lockstep_wait_us"] (time a party spent blocked at a sync
+          point, µs).  Collected whether or not [config.telemetry] is
+          set. *)
   machine_stats : M.stats;
 }
 
@@ -91,7 +111,8 @@ val run_traces :
     runs right after machine creation — e.g. to attach background load.
     [signals] are asynchronous deliveries [(time, handler trace)]: the
     leader takes each at its next synchronized syscall and every follower
-    runs the handler at the same logical position. *)
+    runs the handler at the same logical position.
+    @raise Invalid_argument if any [config] cost is negative or non-finite. *)
 
 val run_builds :
   ?config:config ->

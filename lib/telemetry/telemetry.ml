@@ -1,0 +1,341 @@
+module Stats = Bunshin_util.Stats
+
+type phase = Begin | End | Instant | Complete of float
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_phase : phase;
+  ev_ts : float;
+  ev_pid : int;
+  ev_tid : int;
+  ev_args : (string * string) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr ?(by = 1) c = c.v <- c.v + by
+  let value c = c.v
+end
+
+module Gauge = struct
+  type t = { mutable g_last : float; mutable g_max : float; mutable g_n : int }
+
+  let create () = { g_last = 0.0; g_max = neg_infinity; g_n = 0 }
+
+  let set g v =
+    g.g_last <- v;
+    if v > g.g_max then g.g_max <- v;
+    g.g_n <- g.g_n + 1
+
+  let last g = g.g_last
+  let max_value g = if g.g_n = 0 then 0.0 else g.g_max
+  let samples g = g.g_n
+end
+
+module Hist = struct
+  type t = {
+    bounds : float array; (* sorted, strictly increasing, finite *)
+    counts : int array;   (* length bounds + 1; last entry is overflow *)
+    mutable h_n : int;
+    mutable h_sum : float;
+    mutable h_min : float;
+    mutable h_max : float;
+  }
+
+  let default_buckets =
+    [ 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000.; 10000. ]
+
+  let create ?(buckets = default_buckets) () =
+    (* Normalize through Stats.histogram so bucketing here can never drift
+       from the pure list-based version. *)
+    let bounds =
+      Stats.histogram ~buckets []
+      |> List.filter_map (fun (b, _) -> if Float.is_finite b then Some b else None)
+    in
+    {
+      bounds = Array.of_list bounds;
+      counts = Array.make (List.length bounds + 1) 0;
+      h_n = 0;
+      h_sum = 0.0;
+      h_min = infinity;
+      h_max = neg_infinity;
+    }
+
+  let observe h x =
+    let k = Array.length h.bounds in
+    let i = ref 0 in
+    while !i < k && x > h.bounds.(!i) do
+      incr i
+    done;
+    h.counts.(!i) <- h.counts.(!i) + 1;
+    h.h_n <- h.h_n + 1;
+    h.h_sum <- h.h_sum +. x;
+    if x < h.h_min then h.h_min <- x;
+    if x > h.h_max then h.h_max <- x
+
+  let count h = h.h_n
+  let sum h = h.h_sum
+  let mean h = if h.h_n = 0 then 0.0 else h.h_sum /. float_of_int h.h_n
+  let min_value h = if h.h_n = 0 then 0.0 else h.h_min
+  let max_value h = if h.h_n = 0 then 0.0 else h.h_max
+
+  let dump h =
+    let k = Array.length h.bounds in
+    List.init k (fun i -> (h.bounds.(i), h.counts.(i))) @ [ (infinity, h.counts.(k)) ]
+end
+
+type metric = C of Counter.t | G of Gauge.t | H of Hist.t
+
+(* ------------------------------------------------------------------ *)
+(* Sink: bounded event ring + metrics registry *)
+
+type sink = {
+  cap : int;
+  ring : event array;
+  mutable start : int; (* index of the oldest event *)
+  mutable len : int;
+  mutable dropped : int;
+  mutable next_pid : int;
+  mutable proc_names : (int * string) list;        (* newest first *)
+  mutable track_names : ((int * int) * string) list;
+  metrics : (string, metric) Hashtbl.t;
+  mutable metric_order : string list; (* reverse registration order *)
+}
+
+type domain = { d_sink : sink; d_pid : int; d_name : string }
+
+let dummy_event =
+  { ev_name = ""; ev_cat = ""; ev_phase = Instant; ev_ts = 0.0; ev_pid = 0; ev_tid = 0;
+    ev_args = [] }
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Telemetry.create: capacity must be positive";
+  {
+    cap = capacity;
+    ring = Array.make capacity dummy_event;
+    start = 0;
+    len = 0;
+    dropped = 0;
+    next_pid = 0;
+    proc_names = [];
+    track_names = [];
+    metrics = Hashtbl.create 32;
+    metric_order = [];
+  }
+
+let capacity s = s.cap
+
+let domain s ~name =
+  let pid = s.next_pid in
+  s.next_pid <- pid + 1;
+  s.proc_names <- (pid, name) :: s.proc_names;
+  { d_sink = s; d_pid = pid; d_name = name }
+
+let domain_sink d = d.d_sink
+let domain_name d = d.d_name
+
+let push s ev =
+  if s.len < s.cap then begin
+    s.ring.((s.start + s.len) mod s.cap) <- ev;
+    s.len <- s.len + 1
+  end
+  else begin
+    (* Full: evict the oldest, keep the newest — the tail of a run is what
+       a trace reader usually wants. *)
+    s.ring.(s.start) <- ev;
+    s.start <- (s.start + 1) mod s.cap;
+    s.dropped <- s.dropped + 1
+  end
+
+let emit d phase ?(tid = 0) ?(args = []) ~ts ~cat name =
+  push d.d_sink
+    { ev_name = name; ev_cat = cat; ev_phase = phase; ev_ts = ts; ev_pid = d.d_pid;
+      ev_tid = tid; ev_args = args }
+
+let span_begin d ?tid ?args ~ts ~cat name = emit d Begin ?tid ?args ~ts ~cat name
+let span_end d ?tid ~ts ~cat name = emit d End ?tid ~ts ~cat name
+let span_complete d ?tid ?args ~ts ~dur ~cat name = emit d (Complete dur) ?tid ?args ~ts ~cat name
+let instant d ?tid ?args ~ts ~cat name = emit d Instant ?tid ?args ~ts ~cat name
+
+let name_track d ~tid name =
+  let s = d.d_sink in
+  s.track_names <- ((d.d_pid, tid), name) :: List.remove_assoc (d.d_pid, tid) s.track_names
+
+let events s = List.init s.len (fun i -> s.ring.((s.start + i) mod s.cap))
+let event_count s = s.len
+let dropped_events s = s.dropped
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let register s name m =
+  Hashtbl.replace s.metrics name m;
+  s.metric_order <- name :: s.metric_order
+
+let counter s name =
+  match Hashtbl.find_opt s.metrics name with
+  | Some (C c) -> c
+  | Some _ -> invalid_arg (Printf.sprintf "Telemetry.counter: %s is not a counter" name)
+  | None ->
+    let c = Counter.create () in
+    register s name (C c);
+    c
+
+let gauge s name =
+  match Hashtbl.find_opt s.metrics name with
+  | Some (G g) -> g
+  | Some _ -> invalid_arg (Printf.sprintf "Telemetry.gauge: %s is not a gauge" name)
+  | None ->
+    let g = Gauge.create () in
+    register s name (G g);
+    g
+
+let hist ?buckets s name =
+  match Hashtbl.find_opt s.metrics name with
+  | Some (H h) -> h
+  | Some _ -> invalid_arg (Printf.sprintf "Telemetry.hist: %s is not a histogram" name)
+  | None ->
+    let h = Hist.create ?buckets () in
+    register s name (H h);
+    h
+
+let register_hist s name h =
+  let rec unique base k =
+    let candidate = if k = 1 then base else Printf.sprintf "%s#%d" base k in
+    if Hashtbl.mem s.metrics candidate then unique base (k + 1) else candidate
+  in
+  let name = unique name 1 in
+  register s name (H h);
+  name
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_nan f then "0"
+  else if f = infinity then "1e308"
+  else if f = neg_infinity then "-1e308"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let json_args args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)) args)
+  ^ "}"
+
+let render_event e =
+  let base =
+    Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d"
+      (json_escape e.ev_name) (json_escape e.ev_cat) (json_float e.ev_ts) e.ev_pid e.ev_tid
+  in
+  let ph =
+    match e.ev_phase with
+    | Begin -> ",\"ph\":\"B\""
+    | End -> ",\"ph\":\"E\""
+    | Instant -> ",\"ph\":\"i\",\"s\":\"t\""
+    | Complete dur -> Printf.sprintf ",\"ph\":\"X\",\"dur\":%s" (json_float dur)
+  in
+  let args = if e.ev_args = [] then "" else ",\"args\":" ^ json_args e.ev_args in
+  base ^ ph ^ args ^ "}"
+
+let to_chrome_json s =
+  let meta_proc (pid, name) =
+    Printf.sprintf
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+      pid (json_escape name)
+  in
+  let meta_track ((pid, tid), name) =
+    Printf.sprintf
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+      pid tid (json_escape name)
+  in
+  let metas =
+    List.map meta_proc (List.rev s.proc_names) @ List.map meta_track (List.rev s.track_names)
+  in
+  let body = String.concat ",\n" (metas @ List.map render_event (events s)) in
+  "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n" ^ body ^ "\n]}\n"
+
+let ordered_metrics s =
+  List.filter_map (fun name -> Option.map (fun m -> (name, m)) (Hashtbl.find_opt s.metrics name))
+    (List.rev s.metric_order)
+
+let hist_buckets_json h =
+  let row (bound, count) =
+    let le = if Float.is_finite bound then json_float bound else "\"+inf\"" in
+    Printf.sprintf "{\"le\":%s,\"count\":%d}" le count
+  in
+  "[" ^ String.concat "," (List.map row (Hist.dump h)) ^ "]"
+
+let metrics_to_json s =
+  let all = ordered_metrics s in
+  let pick f = List.filter_map f all in
+  let counters =
+    pick (function
+      | name, C c -> Some (Printf.sprintf "\"%s\":%d" (json_escape name) (Counter.value c))
+      | _ -> None)
+  in
+  let gauges =
+    pick (function
+      | name, G g ->
+        Some
+          (Printf.sprintf "\"%s\":{\"last\":%s,\"max\":%s,\"samples\":%d}" (json_escape name)
+             (json_float (Gauge.last g)) (json_float (Gauge.max_value g)) (Gauge.samples g))
+      | _ -> None)
+  in
+  let hists =
+    pick (function
+      | name, H h ->
+        Some
+          (Printf.sprintf "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"buckets\":%s}"
+             (json_escape name) (Hist.count h) (json_float (Hist.sum h))
+             (json_float (Hist.min_value h)) (json_float (Hist.max_value h))
+             (hist_buckets_json h))
+      | _ -> None)
+  in
+  Printf.sprintf "{\n\"counters\":{%s},\n\"gauges\":{%s},\n\"histograms\":{%s}\n}\n"
+    (String.concat "," counters) (String.concat "," gauges) (String.concat "," hists)
+
+let metrics_to_text s =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | C c -> Buffer.add_string buf (Printf.sprintf "counter  %-32s %d\n" name (Counter.value c))
+      | G g ->
+        Buffer.add_string buf
+          (Printf.sprintf "gauge    %-32s last %g  max %g  samples %d\n" name (Gauge.last g)
+             (Gauge.max_value g) (Gauge.samples g))
+      | H h ->
+        Buffer.add_string buf
+          (Printf.sprintf "hist     %-32s n %d  mean %.2f  min %g  max %g\n" name (Hist.count h)
+             (Hist.mean h) (Hist.min_value h) (Hist.max_value h));
+        let cell (bound, count) =
+          if Float.is_finite bound then Printf.sprintf "<=%g:%d" bound count
+          else Printf.sprintf ">last:%d" count
+        in
+        Buffer.add_string buf
+          ("         " ^ String.concat " " (List.map cell (Hist.dump h)) ^ "\n"))
+    (ordered_metrics s);
+  Buffer.contents buf

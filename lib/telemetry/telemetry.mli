@@ -1,0 +1,158 @@
+(** Structured telemetry for the engine: a low-overhead event tracer plus a
+    metrics registry, with Chrome [trace_event] and flat JSON/text exporters.
+
+    The design goal is that telemetry is {e behavior-neutral}: every
+    instrumentation point in the engine takes a nullable sink and compiles
+    to a no-op when it is absent, and the event store is a bounded ring —
+    a hot run can never grow memory or change scheduling because tracing
+    is on.  Overflowing the ring drops the {e oldest} events and counts
+    them in {!dropped_events}, so truncation is always visible.
+
+    {b Clock domains.}  Events carry raw timestamps from whatever clock
+    their layer runs on: the machine layers (machine, NXE) stamp events in
+    simulated machine time (µs), while the IR interpreter stamps them in
+    instruction steps.  Each clock domain is a separate {!domain} (a
+    Chrome-trace process), so mixed-domain sessions render side by side
+    without ever comparing timestamps across domains.
+
+    {b Metrics} are registered by name on the sink: monotonic counters,
+    last/max gauges, and fixed-bucket histograms.  A histogram can also be
+    created standalone (see {!Hist.create}) and registered later — the NXE
+    uses this to keep its syscall-gap and lockstep-wait distributions
+    always-on (they feed [Nxe.report]) and merely {e share} them with the
+    sink when tracing is enabled. *)
+
+type sink
+(** A trace session: bounded event ring + metrics registry. *)
+
+type domain
+(** A named clock domain inside a sink (a Chrome-trace process). *)
+
+val create : ?capacity:int -> unit -> sink
+(** New sink whose event ring holds [capacity] events (default 65536).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : sink -> int
+
+val domain : sink -> name:string -> domain
+(** Allocate a fresh domain (pid) named [name]. *)
+
+val domain_sink : domain -> sink
+val domain_name : domain -> string
+
+(** {1 Events} *)
+
+type phase =
+  | Begin             (** span open ([ph:"B"]) *)
+  | End               (** span close ([ph:"E"]) *)
+  | Instant           (** point event ([ph:"i"]) *)
+  | Complete of float (** whole span with the given duration ([ph:"X"]) *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;                 (** layer: ["nxe"], ["machine"], ["interp"] *)
+  ev_phase : phase;
+  ev_ts : float;                   (** in the domain's clock units *)
+  ev_pid : int;                    (** domain id *)
+  ev_tid : int;                    (** track (lane) within the domain *)
+  ev_args : (string * string) list;
+}
+
+val span_begin :
+  domain -> ?tid:int -> ?args:(string * string) list -> ts:float -> cat:string -> string -> unit
+
+val span_end : domain -> ?tid:int -> ts:float -> cat:string -> string -> unit
+
+val span_complete :
+  domain -> ?tid:int -> ?args:(string * string) list -> ts:float -> dur:float -> cat:string ->
+  string -> unit
+
+val instant :
+  domain -> ?tid:int -> ?args:(string * string) list -> ts:float -> cat:string -> string -> unit
+
+val name_track : domain -> tid:int -> string -> unit
+(** Label a track ([thread_name] metadata; idempotent, last write wins). *)
+
+val events : sink -> event list
+(** Surviving events, oldest first. *)
+
+val event_count : sink -> int
+val dropped_events : sink -> int
+(** Events evicted from the ring since {!create}. *)
+
+(** {1 Metrics} *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> float -> unit
+  val last : t -> float
+  val max_value : t -> float (** 0. before the first {!set} *)
+
+  val samples : t -> int
+end
+
+module Hist : sig
+  (** Fixed-bucket histogram: bounded memory however many observations.
+      Bucket bounds are upper bounds; an implicit [+inf] bucket catches
+      everything above the last bound.  Bucketing agrees exactly with
+      {!Bunshin_util.Stats.histogram} over the same samples. *)
+
+  type t
+
+  val default_buckets : float list
+  (** A 1-2-5 log scale from 1 to 10^4 — suited to µs-scale latencies. *)
+
+  val create : ?buckets:float list -> unit -> t
+  (** Bounds are sorted and deduplicated; non-finite bounds are rejected.
+      @raise Invalid_argument on an empty or non-finite bucket list. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float (** 0. when empty *)
+
+  val min_value : t -> float (** 0. when empty *)
+
+  val max_value : t -> float (** 0. when empty *)
+
+  val dump : t -> (float * int) list
+  (** [(upper_bound, count)] per bucket, ending with the [(infinity, n)]
+      overflow bucket — the same shape {!Bunshin_util.Stats.histogram}
+      returns. *)
+end
+
+val counter : sink -> string -> Counter.t
+(** Get or create the named counter.
+    @raise Invalid_argument if the name is bound to another metric kind. *)
+
+val gauge : sink -> string -> Gauge.t
+
+val hist : ?buckets:float list -> sink -> string -> Hist.t
+(** Get or create; [buckets] only applies on creation. *)
+
+val register_hist : sink -> string -> Hist.t -> string
+(** Share an externally-owned histogram under [name]; on collision the
+    name is suffixed ["#2"], ["#3"], ...  Returns the name actually used. *)
+
+(** {1 Exporters} *)
+
+val to_chrome_json : sink -> string
+(** Chrome [trace_event] JSON (object format, [traceEvents] array plus
+    process/thread-name metadata) — loadable in [chrome://tracing] and
+    Perfetto. *)
+
+val metrics_to_json : sink -> string
+(** Flat dump: [{"counters":{...},"gauges":{...},"histograms":{...}}]. *)
+
+val metrics_to_text : sink -> string
+(** Human-readable one-metric-per-line dump (histograms take two lines). *)

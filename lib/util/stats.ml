@@ -45,6 +45,40 @@ let percentile p xs =
 let minimum = function [] -> 0.0 | x :: xs -> List.fold_left min x xs
 let maximum = function [] -> 0.0 | x :: xs -> List.fold_left max x xs
 
+let histogram ?buckets xs =
+  let bounds =
+    match buckets with
+    | Some bs ->
+      if bs = [] then invalid_arg "Stats.histogram: empty bucket list";
+      List.iter
+        (fun b -> if not (Float.is_finite b) then invalid_arg "Stats.histogram: non-finite bucket")
+        bs;
+      List.sort_uniq compare bs
+    | None -> (
+      match xs with
+      | [] -> []
+      | _ ->
+        let lo = minimum xs and hi = maximum xs in
+        if hi <= lo then [ hi ]
+        else
+          let w = (hi -. lo) /. 10.0 in
+          (* The last bound is exactly [hi] so the overflow bucket stays
+             empty despite floating-point accumulation. *)
+          List.init 10 (fun i -> if i = 9 then hi else lo +. (w *. float_of_int (i + 1))))
+  in
+  let barr = Array.of_list bounds in
+  let k = Array.length barr in
+  let counts = Array.make (k + 1) 0 in
+  List.iter
+    (fun x ->
+      let i = ref 0 in
+      while !i < k && x > barr.(!i) do
+        incr i
+      done;
+      counts.(!i) <- counts.(!i) + 1)
+    xs;
+  List.mapi (fun i b -> (b, counts.(i))) bounds @ [ (infinity, counts.(k)) ]
+
 let overhead ~baseline ~measured =
   if baseline <= 0.0 then invalid_arg "Stats.overhead: non-positive baseline";
   (measured -. baseline) /. baseline

@@ -19,6 +19,16 @@ val minimum : float list -> float
 val maximum : float list -> float
 val sum : float list -> float
 
+val histogram : ?buckets:float list -> float list -> (float * int) list
+(** Fixed-bucket histogram of the samples: [(upper_bound, count)] per
+    bucket, where a sample [x] lands in the first bucket with [x <= bound],
+    plus a final [(infinity, n)] overflow bucket.  [buckets] are upper
+    bounds (sorted and deduplicated; must be finite and non-empty when
+    given); without [buckets], ten equal-width buckets span
+    [\[minimum xs, maximum xs\]].  On an empty sample list with no
+    [buckets], only the empty overflow bucket is returned.
+    @raise Invalid_argument on an empty or non-finite explicit bucket list. *)
+
 val overhead : baseline:float -> measured:float -> float
 (** Relative slowdown [(measured - baseline) / baseline]; the unit used
     throughout the paper ("107%" = 1.07). *)

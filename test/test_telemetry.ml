@@ -1,0 +1,345 @@
+(* Tests for the telemetry subsystem: event ring semantics, metrics,
+   exporters, and — most importantly — that attaching a sink never changes
+   what the engine reports. *)
+
+open Bunshin
+module Tel = Telemetry
+
+let find_bench name =
+  List.find (fun b -> b.Bench.name = name) (Spec.all @ Multithreaded.splash)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal recursive-descent JSON syntax checker: enough to prove the
+   exporters emit well-formed JSON without a json dependency. *)
+
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let fail = ref false in
+  let expect c =
+    if peek () = Some c then advance () else fail := true
+  in
+  let rec value () =
+    if !fail then ()
+    else begin
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> string_lit ()
+      | Some ('-' | '0' .. '9') -> number ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | _ -> fail := true
+    end
+  and literal lit =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit then
+      pos := !pos + String.length lit
+    else fail := true
+  and number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail := true
+  and string_lit () =
+    expect '"';
+    let closed = ref false in
+    while (not !closed) && not !fail do
+      match peek () with
+      | None -> fail := true
+      | Some '"' ->
+        advance ();
+        closed := true
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+         | Some 'u' ->
+           advance ();
+           for _ = 1 to 4 do
+             match peek () with
+             | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+             | _ -> fail := true
+           done
+         | _ -> fail := true)
+      | Some c ->
+        if Char.code c < 0x20 then fail := true;
+        advance ()
+    done
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else begin
+      let continue = ref true in
+      while !continue && not !fail do
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some '}' ->
+          advance ();
+          continue := false
+        | _ ->
+          fail := true;
+          continue := false
+      done
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else begin
+      let continue = ref true in
+      while !continue && not !fail do
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance ()
+        | Some ']' ->
+          advance ();
+          continue := false
+        | _ ->
+          fail := true;
+          continue := false
+      done
+    end
+  in
+  value ();
+  skip_ws ();
+  (not !fail) && !pos = n
+
+(* ------------------------------------------------------------------ *)
+(* Event ring *)
+
+let test_span_nesting () =
+  let sink = Tel.create () in
+  let d = Tel.domain sink ~name:"test" in
+  Tel.span_begin d ~ts:0.0 ~cat:"c" "outer";
+  Tel.span_begin d ~ts:1.0 ~cat:"c" "inner";
+  Tel.instant d ~ts:1.5 ~cat:"c" "mark";
+  Tel.span_end d ~ts:2.0 ~cat:"c" "inner";
+  Tel.span_end d ~ts:3.0 ~cat:"c" "outer";
+  let evs = Tel.events sink in
+  Alcotest.(check int) "5 events" 5 (List.length evs);
+  Alcotest.(check (list string)) "order preserved"
+    [ "outer"; "inner"; "mark"; "inner"; "outer" ]
+    (List.map (fun e -> e.Tel.ev_name) evs);
+  let phases = List.map (fun e -> e.Tel.ev_phase) evs in
+  Alcotest.(check bool) "phases" true
+    (phases = [ Tel.Begin; Tel.Begin; Tel.Instant; Tel.End; Tel.End ]);
+  Alcotest.(check bool) "timestamps ascend" true
+    (let ts = List.map (fun e -> e.Tel.ev_ts) evs in
+     List.sort compare ts = ts)
+
+let test_ring_truncation () =
+  let sink = Tel.create ~capacity:4 () in
+  let d = Tel.domain sink ~name:"t" in
+  for i = 1 to 10 do
+    Tel.instant d ~ts:(float_of_int i) ~cat:"c" (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "capacity" 4 (Tel.capacity sink);
+  Alcotest.(check int) "ring holds 4" 4 (Tel.event_count sink);
+  Alcotest.(check int) "6 dropped" 6 (Tel.dropped_events sink);
+  Alcotest.(check (list string)) "oldest evicted, newest kept"
+    [ "e7"; "e8"; "e9"; "e10" ]
+    (List.map (fun e -> e.Tel.ev_name) (Tel.events sink))
+
+let test_bad_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Telemetry.create: capacity must be positive") (fun () ->
+      ignore (Tel.create ~capacity:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_hist_matches_stats () =
+  (* The two histogram implementations must agree bucket by bucket. *)
+  let buckets = [ 5.0; 1.0; 2.0; 1.0 ] (* unsorted, duplicated *) in
+  let samples = [ 0.0; 1.0; 1.5; 2.0; 2.5; 5.0; 99.0; -3.0 ] in
+  let h = Tel.Hist.create ~buckets () in
+  List.iter (Tel.Hist.observe h) samples;
+  Alcotest.(check bool) "same dump" true
+    (Tel.Hist.dump h = Stats.histogram ~buckets samples);
+  Alcotest.(check int) "count" (List.length samples) (Tel.Hist.count h);
+  Alcotest.(check (float 1e-9)) "mean" (Stats.mean samples) (Tel.Hist.mean h);
+  Alcotest.(check (float 1e-9)) "min" (-3.0) (Tel.Hist.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 99.0 (Tel.Hist.max_value h)
+
+let test_hist_empty () =
+  let h = Tel.Hist.create ~buckets:[ 1.0 ] () in
+  Alcotest.(check int) "count 0" 0 (Tel.Hist.count h);
+  Alcotest.(check (float 1e-9)) "mean 0" 0.0 (Tel.Hist.mean h);
+  Alcotest.(check bool) "all buckets empty" true
+    (List.for_all (fun (_, c) -> c = 0) (Tel.Hist.dump h))
+
+let test_registry () =
+  let sink = Tel.create () in
+  let c = Tel.counter sink "hits" in
+  Tel.Counter.incr c;
+  Tel.Counter.incr ~by:4 c;
+  Alcotest.(check int) "counter accumulates" 5 (Tel.Counter.value c);
+  Alcotest.(check int) "get-or-create shares state" 5
+    (Tel.Counter.value (Tel.counter sink "hits"));
+  let g = Tel.gauge sink "level" in
+  Tel.Gauge.set g 3.0;
+  Tel.Gauge.set g 1.0;
+  Alcotest.(check (float 1e-9)) "gauge last" 1.0 (Tel.Gauge.last g);
+  Alcotest.(check (float 1e-9)) "gauge max" 3.0 (Tel.Gauge.max_value g);
+  Alcotest.(check int) "gauge samples" 2 (Tel.Gauge.samples g);
+  (match Tel.gauge sink "hits" with
+   | _ -> Alcotest.fail "kind mismatch not rejected"
+   | exception Invalid_argument _ -> ());
+  let h1 = Tel.Hist.create ~buckets:[ 1.0 ] () in
+  let h2 = Tel.Hist.create ~buckets:[ 1.0 ] () in
+  Alcotest.(check string) "first name" "h" (Tel.register_hist sink "h" h1);
+  Alcotest.(check string) "collision suffixed" "h#2" (Tel.register_hist sink "h" h2)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let traced_session () =
+  let sink = Tel.create () in
+  let config = { Nxe.default_config with Nxe.telemetry = Some sink } in
+  let bench = find_bench "bzip2" in
+  let builds = [ Program.baseline bench.Bench.prog; Program.baseline bench.Bench.prog ] in
+  let r = Experiments.nxe_run ~config ~seed:Experiments.ref_seed builds in
+  (sink, r)
+
+let test_chrome_json_valid () =
+  let sink, _ = traced_session () in
+  let s = Tel.to_chrome_json sink in
+  Alcotest.(check bool) "trace JSON parses" true (json_valid s);
+  Alcotest.(check bool) "metrics JSON parses" true (json_valid (Tel.metrics_to_json sink))
+
+let test_trace_covers_layers () =
+  let sink, _ = traced_session () in
+  let cats =
+    List.sort_uniq compare (List.map (fun e -> e.Tel.ev_cat) (Tel.events sink))
+  in
+  Alcotest.(check bool) "machine spans present" true (List.mem "machine" cats);
+  Alcotest.(check bool) "nxe spans present" true (List.mem "nxe" cats);
+  Alcotest.(check bool) "publishes counted" true
+    (Tel.Counter.value (Tel.counter sink "nxe.slot_publish") > 0);
+  Alcotest.(check bool) "text dump mentions hists" true
+    (let txt = Tel.metrics_to_text sink in
+     String.length txt > 0
+     &&
+     let contains ne =
+       let nh = String.length txt and nn = String.length ne in
+       let rec go i = i + nn <= nh && (String.sub txt i nn = ne || go (i + 1)) in
+       go 0
+     in
+     contains "nxe.syscall_gap" && contains "nxe.lockstep_wait_us")
+
+let test_interp_domain () =
+  let sink = Tel.create () in
+  let config = { Nxe.default_config with Nxe.telemetry = Some sink } in
+  let case = List.hd Cve.cases in
+  let inst = Instrument.apply_exn [ Sanitizer.asan ] case.Cve.c_modul in
+  let r =
+    Bridge.run_ir_variants ~config ~entry:case.Cve.c_entry ~args:case.Cve.c_benign
+      [ inst; inst ]
+  in
+  Alcotest.(check bool) "benign run clean" true (r.Nxe.outcome = `All_finished);
+  Alcotest.(check bool) "interp spans present" true
+    (List.exists (fun e -> e.Tel.ev_cat = "interp") (Tel.events sink));
+  Alcotest.(check bool) "check hits counted" true
+    (Tel.Counter.value (Tel.counter sink "interp:v0.check_hits") > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Behavior neutrality: a sink must never change the engine's report. *)
+
+let test_disabled_sink_identical_report () =
+  List.iter
+    (fun name ->
+      let bench = find_bench name in
+      let builds =
+        [ Program.baseline bench.Bench.prog; Program.baseline bench.Bench.prog ]
+      in
+      let bare = Experiments.nxe_run ~seed:Experiments.ref_seed builds in
+      let traced =
+        Experiments.nxe_run
+          ~config:{ Nxe.default_config with Nxe.telemetry = Some (Tel.create ()) }
+          ~seed:Experiments.ref_seed builds
+      in
+      Alcotest.(check bool)
+        (name ^ ": report identical with sink attached")
+        true (bare = traced))
+    [ "bzip2"; "barnes" ]
+
+let test_report_histograms_always_on () =
+  let _, r = traced_session () in
+  let bare =
+    let bench = find_bench "bzip2" in
+    Experiments.nxe_run ~seed:Experiments.ref_seed
+      [ Program.baseline bench.Bench.prog; Program.baseline bench.Bench.prog ]
+  in
+  Alcotest.(check (list string)) "both histograms present"
+    [ "syscall_gap"; "lockstep_wait_us" ]
+    (List.map fst bare.Nxe.histograms);
+  let total h = List.fold_left (fun a (_, c) -> a + c) 0 h in
+  Alcotest.(check bool) "gap samples recorded" true
+    (total (List.assoc "syscall_gap" bare.Nxe.histograms) > 0);
+  Alcotest.(check bool) "same with sink" true (bare.Nxe.histograms = r.Nxe.histograms)
+
+let test_negative_cost_rejected () =
+  let bench = find_bench "bzip2" in
+  let builds = [ Program.baseline bench.Bench.prog ] in
+  match
+    Experiments.nxe_run
+      ~config:{ Nxe.default_config with Nxe.checkin_cost = -1.0 }
+      ~seed:Experiments.ref_seed builds
+  with
+  | _ -> Alcotest.fail "negative checkin_cost accepted"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "bunshin_telemetry"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "truncation drops oldest" `Quick test_ring_truncation;
+          Alcotest.test_case "bad capacity" `Quick test_bad_capacity;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "hist matches Stats.histogram" `Quick test_hist_matches_stats;
+          Alcotest.test_case "hist empty" `Quick test_hist_empty;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome json valid" `Quick test_chrome_json_valid;
+          Alcotest.test_case "trace covers layers" `Quick test_trace_covers_layers;
+          Alcotest.test_case "interp domain" `Quick test_interp_domain;
+        ] );
+      ( "neutrality",
+        [
+          Alcotest.test_case "disabled sink identical report" `Quick
+            test_disabled_sink_identical_report;
+          Alcotest.test_case "report histograms always on" `Quick
+            test_report_histograms_always_on;
+          Alcotest.test_case "negative cost rejected" `Quick test_negative_cost_rejected;
+        ] );
+    ]

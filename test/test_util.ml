@@ -173,6 +173,54 @@ let test_stats_minmax () =
   check_float "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
   check_float "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ])
 
+(* Exact structural equality: bucket bounds are never computed, so no
+   epsilon is needed, and (=) treats the infinity overflow bound correctly
+   where Alcotest's float-epsilon testable would not. *)
+let hist =
+  Alcotest.testable
+    (fun fmt h ->
+      Format.fprintf fmt "[%s]"
+        (String.concat "; " (List.map (fun (b, c) -> Printf.sprintf "(%g,%d)" b c) h)))
+    ( = )
+
+let test_histogram_explicit_buckets () =
+  (* A sample lands in the first bucket with x <= bound; boundary values
+     belong to their own bucket, not the next. *)
+  Alcotest.check hist "bucketing"
+    [ (1.0, 2); (2.0, 1); (5.0, 1); (infinity, 1) ]
+    (Stats.histogram ~buckets:[ 1.0; 2.0; 5.0 ] [ 0.5; 1.0; 2.0; 3.0; 7.0 ])
+
+let test_histogram_overflow_and_below () =
+  Alcotest.check hist "below first and above last"
+    [ (10.0, 1); (infinity, 2) ]
+    (Stats.histogram ~buckets:[ 10.0 ] [ -5.0; 11.0; 1e9 ])
+
+let test_histogram_unsorted_dup_buckets () =
+  (* Bounds are sorted and deduplicated before use. *)
+  Alcotest.check hist "normalized bounds"
+    [ (1.0, 1); (2.0, 1); (infinity, 0) ]
+    (Stats.histogram ~buckets:[ 2.0; 1.0; 2.0 ] [ 0.5; 1.5 ])
+
+let test_histogram_default_buckets () =
+  let xs = List.init 100 (fun i -> float_of_int i) in
+  let h = Stats.histogram xs in
+  Alcotest.(check int) "10 buckets + overflow" 11 (List.length h);
+  Alcotest.(check int) "total preserved" 100 (List.fold_left (fun a (_, c) -> a + c) 0 h);
+  Alcotest.(check int) "overflow empty" 0 (snd (List.nth h 10))
+
+let test_histogram_empty_and_constant () =
+  Alcotest.check hist "empty samples" [ (infinity, 0) ] (Stats.histogram []);
+  Alcotest.check hist "constant samples" [ (4.0, 3); (infinity, 0) ]
+    (Stats.histogram [ 4.0; 4.0; 4.0 ])
+
+let test_histogram_rejects_bad_buckets () =
+  Alcotest.check_raises "empty bucket list"
+    (Invalid_argument "Stats.histogram: empty bucket list") (fun () ->
+      ignore (Stats.histogram ~buckets:[] [ 1.0 ]));
+  Alcotest.check_raises "non-finite bucket"
+    (Invalid_argument "Stats.histogram: non-finite bucket") (fun () ->
+      ignore (Stats.histogram ~buckets:[ 1.0; infinity ] [ 1.0 ]))
+
 (* ------------------------------------------------------------------ *)
 (* Table *)
 
@@ -275,6 +323,12 @@ let () =
           Alcotest.test_case "overhead" `Quick test_stats_overhead;
           Alcotest.test_case "pct" `Quick test_stats_pct;
           Alcotest.test_case "minmax" `Quick test_stats_minmax;
+          Alcotest.test_case "histogram explicit buckets" `Quick test_histogram_explicit_buckets;
+          Alcotest.test_case "histogram overflow" `Quick test_histogram_overflow_and_below;
+          Alcotest.test_case "histogram unsorted buckets" `Quick test_histogram_unsorted_dup_buckets;
+          Alcotest.test_case "histogram default buckets" `Quick test_histogram_default_buckets;
+          Alcotest.test_case "histogram empty/constant" `Quick test_histogram_empty_and_constant;
+          Alcotest.test_case "histogram rejects bad buckets" `Quick test_histogram_rejects_bad_buckets;
         ] );
       ( "table",
         [
