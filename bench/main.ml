@@ -3,9 +3,11 @@
    numbers the paper reports, so the shape comparison is immediate.
 
    Usage:
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- fig6    # one section
-     dune exec bench/main.exe -- list    # section names *)
+     dune exec bench/main.exe                    # everything
+     dune exec bench/main.exe -- fig6            # one section
+     dune exec bench/main.exe -- list            # section names
+     dune exec bench/main.exe -- interp --quick  # fast smoke of the
+                                                 # interpreter microbench *)
 
 open Bunshin
 module E = Experiments
@@ -727,6 +729,196 @@ let bechamel_section () =
   List.iter benchmark tests
 
 (* ------------------------------------------------------------------ *)
+(* Interpreter fast path: precompiled engine vs the reference oracle *)
+
+let quick_mode = ref false
+
+(* Synthetic kernels stressing the four hot shapes of the interpreter:
+   straight-line arithmetic in a loop, allocator traffic, call frames, and
+   phi merges.  Built as raw AST so register/phi wiring is explicit. *)
+
+let kblock label instrs term = { Ir.b_label = label; b_instrs = instrs; b_term = term }
+
+let kmodule name funcs = { Ir.m_name = name; m_globals = []; m_funcs = funcs }
+
+let kloop ~name ~body ~extra_head ~extra_funcs ~ret =
+  (* main(n): i counts 0..n-1 through a phi; [body] defines %acc2 and %i2. *)
+  kmodule name
+    (extra_funcs
+    @ [
+        {
+          Ir.f_name = "main";
+          f_params = [ "n" ];
+          f_blocks =
+            [
+              kblock "entry" [] (Ir.Br "head");
+              kblock "head"
+                ([
+                   Ir.Phi ("i", [ ("entry", Ir.Int 0L); ("body", Ir.Reg "i2") ]);
+                   Ir.Phi ("acc", [ ("entry", Ir.Int 0L); ("body", Ir.Reg "acc2") ]);
+                 ]
+                @ extra_head
+                @ [ Ir.Cmp ("c", Ir.Slt, Ir.Reg "i", Ir.Reg "n") ])
+                (Ir.CondBr (Ir.Reg "c", "body", "exit"));
+              kblock "body" body (Ir.Br "head");
+              kblock "exit" [] (Ir.Ret (Some ret));
+            ];
+        };
+      ])
+
+let kernel_hot_loop () =
+  kloop ~name:"hot_loop" ~extra_head:[] ~extra_funcs:[] ~ret:(Ir.Reg "acc")
+    ~body:
+      [
+        Ir.Bin ("t", Ir.Mul, Ir.Reg "i", Ir.Int 3L);
+        Ir.Bin ("t2", Ir.Xor, Ir.Reg "acc", Ir.Reg "t");
+        Ir.Bin ("acc2", Ir.Add, Ir.Reg "t2", Ir.Int 1L);
+        Ir.Bin ("i2", Ir.Add, Ir.Reg "i", Ir.Int 1L);
+      ]
+
+let kernel_alloc_heavy () =
+  kloop ~name:"alloc_heavy" ~extra_head:[] ~extra_funcs:[] ~ret:(Ir.Reg "acc")
+    ~body:
+      [
+        Ir.Call (Some "p", "malloc", [ Ir.Int 8L ]);
+        Ir.Gep ("q", Ir.Reg "p", Ir.Int 3L);
+        Ir.Store (Ir.Reg "i", Ir.Reg "q");
+        Ir.Load ("v", Ir.Reg "q");
+        Ir.Bin ("acc2", Ir.Add, Ir.Reg "acc", Ir.Reg "v");
+        Ir.Call (None, "free", [ Ir.Reg "p" ]);
+        Ir.Bin ("i2", Ir.Add, Ir.Reg "i", Ir.Int 1L);
+      ]
+
+let kernel_call_heavy () =
+  let work =
+    {
+      Ir.f_name = "work";
+      f_params = [ "a"; "b" ];
+      f_blocks =
+        [
+          kblock "entry"
+            [
+              Ir.Bin ("s", Ir.Add, Ir.Reg "a", Ir.Reg "b");
+              Ir.Bin ("t", Ir.Mul, Ir.Reg "s", Ir.Int 2L);
+            ]
+            (Ir.Ret (Some (Ir.Reg "t")));
+        ];
+    }
+  in
+  kloop ~name:"call_heavy" ~extra_head:[] ~extra_funcs:[ work ] ~ret:(Ir.Reg "acc")
+    ~body:
+      [
+        Ir.Call (Some "r", "work", [ Ir.Reg "i"; Ir.Reg "acc" ]);
+        Ir.Call (Some "ok", "__bunshin_add_ok", [ Ir.Reg "r"; Ir.Int 1L ]);
+        Ir.Bin ("acc2", Ir.Add, Ir.Reg "r", Ir.Reg "ok");
+        Ir.Bin ("i2", Ir.Add, Ir.Reg "i", Ir.Int 1L);
+      ]
+
+let kernel_phi_heavy () =
+  let nphi = 8 in
+  let x k = Printf.sprintf "x%d" k and y k = Printf.sprintf "y%d" k in
+  let extra_head =
+    List.init nphi (fun k ->
+        Ir.Phi (x k, [ ("entry", Ir.Int (Int64.of_int k)); ("body", Ir.Reg (y k)) ]))
+  in
+  let rotations =
+    List.init nphi (fun k -> Ir.Bin (y k, Ir.Add, Ir.Reg (x ((k + 1) mod nphi)), Ir.Int 1L))
+  in
+  kloop ~name:"phi_heavy" ~extra_head ~extra_funcs:[] ~ret:(Ir.Reg (x 1))
+    ~body:
+      (rotations
+      @ [
+          Ir.Bin ("acc2", Ir.Add, Ir.Reg "acc", Ir.Reg (x 0));
+          Ir.Bin ("i2", Ir.Add, Ir.Reg "i", Ir.Int 1L);
+        ])
+
+type interp_measure = { im_ns_per_step : float; im_steps_per_s : float }
+
+(* Best-of-[batches]: the minimum per-step time over repeated batches, the
+   usual microbenchmark defense against scheduler and GC noise. *)
+let interp_measure ~batches ~runs run1 =
+  ignore (run1 ());
+  let best = ref infinity in
+  for _ = 1 to batches do
+    let t0 = Unix.gettimeofday () in
+    let steps = ref 0 in
+    for _ = 1 to runs do
+      steps := !steps + (run1 ()).Interp.steps
+    done;
+    let dt = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+    let per = dt /. float_of_int !steps in
+    if per < !best then best := per
+  done;
+  { im_ns_per_step = !best *. 1e9; im_steps_per_s = 1.0 /. !best }
+
+let interp_section () =
+  section "Interpreter fast path: precompiled engine vs reference oracle";
+  let quick = !quick_mode in
+  let n = if quick then 2_000 else 50_000 in
+  let batches = if quick then 2 else 5 in
+  let runs = if quick then 1 else 2 in
+  let kernels =
+    [
+      ("hot_loop", kernel_hot_loop ());
+      ("alloc_heavy", kernel_alloc_heavy ());
+      ("call_heavy", kernel_call_heavy ());
+      ("phi_heavy", kernel_phi_heavy ());
+    ]
+  in
+  let t =
+    Table.create
+      [
+        ("kernel", Table.Left); ("steps/run", Table.Right); ("ref ns/step", Table.Right);
+        ("fast ns/step", Table.Right); ("fast steps/s", Table.Right); ("speedup", Table.Right);
+      ]
+  in
+  let results =
+    List.map
+      (fun (name, m) ->
+        let args = [ Int64.of_int n ] in
+        (* Default fuel is 1M steps; these kernels legitimately run longer. *)
+        let config = { Interp.default_config with fuel = 1_000_000_000 } in
+        let pm = Interp.compile m in
+        let fast () = Interp.run_compiled ~config pm ~entry:"main" ~args in
+        let reference () = Interp.run_reference ~config m ~entry:"main" ~args in
+        (* Smoke-level differential check: the two engines must agree on
+           the whole run record before their timings mean anything. *)
+        let rf = fast () and rr = reference () in
+        if rf <> rr then begin
+          Printf.eprintf "interp bench: fast/reference divergence on %s\n" name;
+          exit 1
+        end;
+        let f = interp_measure ~batches ~runs fast in
+        let r = interp_measure ~batches ~runs reference in
+        let speedup = f.im_steps_per_s /. r.im_steps_per_s in
+        Table.add_row t
+          [
+            name; string_of_int rf.Interp.steps; Printf.sprintf "%.0f" r.im_ns_per_step;
+            Printf.sprintf "%.0f" f.im_ns_per_step;
+            Printf.sprintf "%.2e" f.im_steps_per_s; Printf.sprintf "%.1fx" speedup;
+          ];
+        (name, rf.Interp.steps, f, r, speedup))
+      kernels
+  in
+  Table.print t;
+  let oc = open_out "BENCH_interp.json" in
+  Printf.fprintf oc "{\n  \"quick\": %b,\n  \"suites\": [\n" quick;
+  let last = List.length results - 1 in
+  List.iteri
+    (fun idx (name, steps, f, r, speedup) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"steps_per_run\": %d, \"fast_ns_per_step\": %.2f, \
+         \"fast_steps_per_s\": %.0f, \"reference_ns_per_step\": %.2f, \
+         \"reference_steps_per_s\": %.0f, \"speedup\": %.2f}%s\n"
+        name steps f.im_ns_per_step f.im_steps_per_s r.im_ns_per_step r.im_steps_per_s
+        speedup
+        (if idx = last then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_interp.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -751,10 +943,21 @@ let sections =
     ("ablations", ablations);
     ("telemetry", telemetry_section);
     ("bechamel", bechamel_section);
+    ("interp", interp_section);
   ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick_mode := true;
+          false
+        end
+        else true)
+      args
+  in
   match args with
   | [ "list" ] -> List.iter (fun (n, _) -> print_endline n) sections
   | [] ->

@@ -288,7 +288,10 @@ let exec_cmd =
             Printf.eprintf "cannot instrument: %s\n" e;
             exit 1
       in
-      let r = Interp.run m ~entry:"main" ~args:(List.map Int64.of_int args) in
+      let r =
+        Interp.run_compiled (Interp.compile m) ~entry:"main"
+          ~args:(List.map Int64.of_int args)
+      in
       List.iter
         (function
           | Interp.Output v -> Printf.printf "print: %Ld\n" v

@@ -18,4 +18,11 @@ dune build @all
 echo "== dune runtest"
 dune runtest
 
+# Bench smoke: the interpreter microbenchmark in quick mode doubles as a
+# fast/reference differential check (it exits non-zero on divergence).
+echo "== bench smoke (interp --quick)"
+dune exec bench/main.exe -- interp --quick
+echo "-- BENCH_interp.json"
+cat BENCH_interp.json
+
 echo "OK"

@@ -210,14 +210,17 @@ let evaluate case =
   let others = List.filter (fun f -> f <> case.c_vuln_func) all_funcs in
   (* Check distribution over two variants: A keeps the checks of the
      vulnerable function (removal elsewhere), B keeps the rest. *)
-  let variant_a = Slicer.remove_checks ~in_funcs:others inst in
-  let variant_b = Slicer.remove_checks ~in_funcs:[ case.c_vuln_func ] inst in
-  let run m args = Interp.run m ~entry:case.c_entry ~args in
+  (* Each module is interpreted twice (exploit + benign): compile once per
+     module and reuse the precompiled form. *)
+  let variant_a = Interp.compile (Slicer.remove_checks ~in_funcs:others inst) in
+  let variant_b = Interp.compile (Slicer.remove_checks ~in_funcs:[ case.c_vuln_func ] inst) in
+  let inst = Interp.compile inst in
+  let run pm args = Interp.run_compiled pm ~entry:case.c_entry ~args in
   let full_x = run inst case.c_exploit_args in
   let a_x = run variant_a case.c_exploit_args in
   let b_x = run variant_b case.c_exploit_args in
-  let benign_ok m =
-    let r = run m case.c_benign in
+  let benign_ok pm =
+    let r = run pm case.c_benign in
     match r.Interp.outcome with Interp.Finished _ -> true | _ -> false
   in
   let diverged = not (Interp.events_equal a_x b_x) in

@@ -54,7 +54,9 @@ let evaluate ?(seed_a = 41) ?(seed_b = 42) () =
      gadget. *)
   let where = Interp.address_of_global ~config:(config_of seed_a) m "dispatch_table" in
   let what = Interp.address_of_func m "evil" in
-  let run seed args = Interp.run ~config:(config_of seed) m ~entry:"main" ~args in
+  (* One compilation serves every seed: only the layout differs per run. *)
+  let pm = Interp.compile m in
+  let run seed args = Interp.run_compiled ~config:(config_of seed) pm ~entry:"main" ~args in
   let a = run seed_a [ where; what ] in
   let b = run seed_b [ where; what ] in
   let benign_a = run seed_a [ 0L; 0L ] in
@@ -74,7 +76,8 @@ let single_layout_escapes () =
   let seed = 41 in
   let where = Interp.address_of_global ~config:(config_of seed) m "dispatch_table" in
   let what = Interp.address_of_func m "evil" in
-  let run args = Interp.run ~config:(config_of seed) m ~entry:"main" ~args in
+  let pm = Interp.compile m in
+  let run args = Interp.run_compiled ~config:(config_of seed) pm ~entry:"main" ~args in
   let a = run [ where; what ] in
   let b = run [ where; what ] in
   (* Both hijacked, identically: the monitor sees nothing. *)

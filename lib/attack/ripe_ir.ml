@@ -202,23 +202,27 @@ let finished run =
 let evaluate c =
   let m = program c in
   let args = exploit_args c m in
-  let run mm a = Interp.run mm ~entry:"main" ~args:a in
-  let vanilla = run m args in
+  (* Each module is interpreted twice (exploit + benign): compile once per
+     module and reuse the precompiled form. *)
+  let run pm a = Interp.run_compiled pm ~entry:"main" ~args:a in
+  let vanilla_pm = Interp.compile m in
+  let vanilla = run vanilla_pm args in
   let asan = Inst.apply_exn [ San.asan ] m in
-  let asan_run = run asan args in
+  let asan_pm = Interp.compile asan in
+  let asan_run = run asan_pm args in
   (* 2-variant check distribution: A holds the copy routine's checks. *)
   let others =
     List.filter_map
       (fun f -> if f.Ast.f_name = "smash" then None else Some f.Ast.f_name)
       m.Ast.m_funcs
   in
-  let variant_a = Slicer.remove_checks ~in_funcs:others asan in
-  let variant_b = Slicer.remove_checks ~in_funcs:[ "smash" ] asan in
+  let variant_a = Interp.compile (Slicer.remove_checks ~in_funcs:others asan) in
+  let variant_b = Interp.compile (Slicer.remove_checks ~in_funcs:[ "smash" ] asan) in
   let ra = run variant_a args and rb = run variant_b args in
-  let cookie_run = run (Inst.apply_exn [ San.stack_cookie ] m) args in
-  let cfi_run = run (Inst.apply_exn [ San.cfi ] m) args in
-  let benign_ok mm =
-    let r = run mm benign_args in
+  let cookie_run = run (Interp.compile (Inst.apply_exn [ San.stack_cookie ] m)) args in
+  let cfi_run = run (Interp.compile (Inst.apply_exn [ San.cfi ] m)) args in
+  let benign_ok pm =
+    let r = run pm benign_args in
     finished r && not (succeeded c r)
   in
   {
@@ -229,5 +233,5 @@ let evaluate c =
     ro_cookie_detects = detected cookie_run;
     ro_cfi_detects = detected cfi_run;
     ro_benign_clean =
-      benign_ok m && benign_ok asan && benign_ok variant_a && benign_ok variant_b;
+      benign_ok vanilla_pm && benign_ok asan_pm && benign_ok variant_a && benign_ok variant_b;
   }

@@ -46,7 +46,8 @@ let run_ir_variants ?config ?us_per_kinstr ~entry ~args moduls =
               Bunshin_telemetry.Telemetry.domain s ~name:(Printf.sprintf "interp:v%d" i))
             sink
         in
-        trace_of_run ?us_per_kinstr (Interp.run ?telemetry m ~entry ~args))
+        trace_of_run ?us_per_kinstr
+          (Interp.run_compiled ?telemetry (Interp.compile m) ~entry ~args))
       moduls
   in
   let names = List.mapi (fun i _ -> Printf.sprintf "ir-v%d" i) moduls in

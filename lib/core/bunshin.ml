@@ -19,6 +19,8 @@ module Table = Bunshin_util.Table
 module Ir = Bunshin_ir.Ast
 module Builder = Bunshin_ir.Builder
 module Interp = Bunshin_ir.Interp
+module Precompile = Bunshin_ir.Precompile
+module Shadow = Bunshin_ir.Shadow
 module Verify = Bunshin_ir.Verify
 module Printer = Bunshin_ir.Printer
 module Ir_parser = Bunshin_ir.Parser

@@ -81,6 +81,11 @@ val run :
   run
 (** Execute [entry] with the given integer arguments.
 
+    This is the fast path: it precompiles the module ({!compile}) and runs
+    the result ({!run_compiled}).  Callers executing the same module many
+    times (variant evaluation, attack campaigns, benchmarks) should compile
+    once themselves and call {!run_compiled} per run.
+
     [telemetry] attaches the run to a trace domain whose clock is the
     {e instruction counter} (not machine time): one span per function
     activation (category ["interp"]), a ["detected"] instant when a report
@@ -88,6 +93,34 @@ val run :
     [.detections] on the domain's sink.  Omitted, every instrumentation
     point is a no-op and the {!run} result is identical.
     @raise Invalid_argument if [entry] does not exist or arity mismatches. *)
+
+val compile : modul -> Precompile.t
+(** Resolve names, number registers and pre-split phis once, so repeated
+    {!run_compiled} calls skip all per-step lookup work.  The result
+    snapshots the module: recompile after mutating it. *)
+
+val run_compiled :
+  ?config:config ->
+  ?telemetry:Bunshin_telemetry.Telemetry.domain ->
+  Precompile.t ->
+  entry:string ->
+  args:int64 list ->
+  run
+(** Like {!run} on the module the argument was compiled from.  Identical
+    observable behaviour — outcome, events, timeline, hazards, step count,
+    layout randomization — for any [config]/[telemetry]/[args]. *)
+
+val run_reference :
+  ?config:config ->
+  ?telemetry:Bunshin_telemetry.Telemetry.domain ->
+  modul ->
+  entry:string ->
+  args:int64 list ->
+  run
+(** The original tree-walking interpreter, kept as the semantic oracle:
+    it resolves every name lazily on every step, which makes it slow and
+    easy to audit.  {!run} must agree with it bit-for-bit on the {!run}
+    record — the differential suite in [test/test_ir.ml] enforces this. *)
 
 val address_of_global : ?config:config -> modul -> string -> int64
 (** Address the named global receives under the given layout — what an

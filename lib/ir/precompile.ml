@@ -1,0 +1,238 @@
+open Ast
+
+type rvalue = VInt of int64 | VPtr of int | VFunc of int | VUndef
+
+type pvalue =
+  | PReg of int
+  | PConst of rvalue
+  | PGlobal of int
+  | PUnbound of string
+  | PBadGlobal of string
+
+type intr =
+  | IPrint
+  | IMalloc
+  | IFree
+  | IBoundsOk
+  | IInAlloc
+  | INotFreed
+  | IInitOk
+  | IAddOk
+  | IMulOk
+  | IShiftOk
+  | ICodePtrOk
+  | IReport of string
+  | ISyscall of string
+  | IUnknown of string
+
+let intr_name = function
+  | IPrint -> Runtime_api.print
+  | IMalloc -> Runtime_api.malloc
+  | IFree -> Runtime_api.free
+  | IBoundsOk -> Runtime_api.bounds_ok
+  | IInAlloc -> Runtime_api.in_alloc
+  | INotFreed -> Runtime_api.not_freed
+  | IInitOk -> Runtime_api.init_ok
+  | IAddOk -> Runtime_api.add_ok
+  | IMulOk -> Runtime_api.mul_ok
+  | IShiftOk -> Runtime_api.shift_ok
+  | ICodePtrOk -> Runtime_api.code_ptr_ok
+  | IReport n | ISyscall n | IUnknown n -> n
+
+let intr_is_helper = function
+  | IBoundsOk | IInAlloc | INotFreed | IInitOk | IAddOk | IMulOk | IShiftOk | ICodePtrOk ->
+    true
+  | IPrint | IMalloc | IFree | IReport _ | ISyscall _ | IUnknown _ -> false
+
+let classify_intrinsic name =
+  if Runtime_api.is_report_handler name then IReport name
+  else if name = Runtime_api.print then IPrint
+  else if name = Runtime_api.malloc then IMalloc
+  else if name = Runtime_api.free then IFree
+  else if name = Runtime_api.bounds_ok then IBoundsOk
+  else if name = Runtime_api.in_alloc then IInAlloc
+  else if name = Runtime_api.not_freed then INotFreed
+  else if name = Runtime_api.init_ok then IInitOk
+  else if name = Runtime_api.add_ok then IAddOk
+  else if name = Runtime_api.mul_ok then IMulOk
+  else if name = Runtime_api.code_ptr_ok then ICodePtrOk
+  else if name = Runtime_api.shift_ok then IShiftOk
+  else if String.starts_with ~prefix:Runtime_api.syscall_prefix name then ISyscall name
+  else IUnknown name
+
+type callee = CFunc of int | CIntr of intr
+
+type ptarget = TBlock of int | TUnknown of string
+
+type pinstr =
+  | PBin of int * binop * pvalue * pvalue
+  | PCmp of int * cmpop * pvalue * pvalue
+  | PAlloca of int * int
+  | PLoad of int * pvalue
+  | PStore of pvalue * pvalue
+  | PCall of int * callee * pvalue array
+  | PCallInd of int * pvalue * pvalue array
+  | PSelect of int * pvalue * pvalue * pvalue
+
+type pphi = { ph_dst : int; ph_incoming : (int * pvalue) array }
+
+type pterm =
+  | PRet of pvalue option
+  | PBr of ptarget
+  | PCondBr of pvalue * ptarget * ptarget
+  | PUnreachable
+
+type pblock = {
+  pb_phis : pphi array;
+  pb_scratch : rvalue array;
+  pb_body : pinstr array;
+  pb_term : pterm;
+}
+
+type pfunc = {
+  pf_name : string;
+  pf_nparams : int;
+  pf_param_slots : int array;
+  pf_nslots : int;
+  pf_slot_names : string array;
+  pf_blocks : pblock array;
+}
+
+type t = {
+  p_src : modul;
+  p_funcs : pfunc array;
+  p_func_index : (string, int) Hashtbl.t;
+  p_globals : global array;
+  p_global_index : (string, int) Hashtbl.t;
+}
+
+let compile_func ~func_index ~global_index (f : func) : pfunc =
+  let slots : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let names_rev = ref [] in
+  let nslots = ref 0 in
+  let slot r =
+    match Hashtbl.find_opt slots r with
+    | Some i -> i
+    | None ->
+      let i = !nslots in
+      incr nslots;
+      Hashtbl.add slots r i;
+      names_rev := r :: !names_rev;
+      i
+  in
+  (* Slot numbering: parameters first, then definitions in program order.
+     Uses are resolved afterwards, so a use textually before its def (legal
+     at runtime if control flow defines it first) still finds its slot. *)
+  let param_slots = Array.of_list (List.map slot f.f_params) in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i -> match def_of_instr i with Some r -> ignore (slot r) | None -> ())
+        b.b_instrs)
+    f.f_blocks;
+  let cvalue = function
+    | Reg r -> (
+      match Hashtbl.find_opt slots r with Some i -> PReg i | None -> PUnbound r)
+    | Int n -> PConst (VInt n)
+    | Null -> PConst (VPtr 0)
+    | Undef -> PConst VUndef
+    | Global g -> (
+      match Hashtbl.find_opt global_index g with
+      | Some gi -> PGlobal gi
+      | None -> (
+        match Hashtbl.find_opt func_index g with
+        | Some fi -> PConst (VFunc fi)
+        | None -> PBadGlobal g))
+  in
+  let label_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i b ->
+      if not (Hashtbl.mem label_index b.b_label) then Hashtbl.add label_index b.b_label i)
+    f.f_blocks;
+  let target l =
+    match Hashtbl.find_opt label_index l with Some i -> TBlock i | None -> TUnknown l
+  in
+  let dst_slot = function Some r -> slot r | None -> -1 in
+  let cinstr = function
+    | Phi _ -> assert false
+    | Bin (r, op, a, b) -> PBin (slot r, op, cvalue a, cvalue b)
+    | Cmp (r, op, a, b) -> PCmp (slot r, op, cvalue a, cvalue b)
+    | Alloca (r, n) -> PAlloca (slot r, n)
+    | Load (r, p) -> PLoad (slot r, cvalue p)
+    | Store (v, p) -> PStore (cvalue v, cvalue p)
+    | Gep (r, p, idx) -> PBin (slot r, Add, cvalue p, cvalue idx)
+    | Call (dst, callee, args) ->
+      let c =
+        match Hashtbl.find_opt func_index callee with
+        | Some i -> CFunc i
+        | None -> CIntr (classify_intrinsic callee)
+      in
+      PCall (dst_slot dst, c, Array.of_list (List.map cvalue args))
+    | CallInd (dst, fp, args) ->
+      PCallInd (dst_slot dst, cvalue fp, Array.of_list (List.map cvalue args))
+    | Select (r, c, a, b) -> PSelect (slot r, cvalue c, cvalue a, cvalue b)
+  in
+  let cblock b =
+    let phis, body = List.partition (function Phi _ -> true | _ -> false) b.b_instrs in
+    let pb_phis =
+      Array.of_list
+        (List.map
+           (function
+             | Phi (r, incoming) ->
+               {
+                 ph_dst = slot r;
+                 ph_incoming =
+                   Array.of_list
+                     (List.map
+                        (fun (l, v) ->
+                          ( (match Hashtbl.find_opt label_index l with
+                             | Some i -> i
+                             | None -> -2),
+                            cvalue v ))
+                        incoming);
+               }
+             | _ -> assert false)
+           phis)
+    in
+    let pb_term =
+      match b.b_term with
+      | Ret v -> PRet (Option.map cvalue v)
+      | Br l -> PBr (target l)
+      | CondBr (c, l1, l2) -> PCondBr (cvalue c, target l1, target l2)
+      | Unreachable -> PUnreachable
+    in
+    {
+      pb_phis;
+      pb_scratch = Array.make (Array.length pb_phis) VUndef;
+      pb_body = Array.of_list (List.map cinstr body);
+      pb_term;
+    }
+  in
+  let pf_blocks = Array.of_list (List.map cblock f.f_blocks) in
+  {
+    pf_name = f.f_name;
+    pf_nparams = List.length f.f_params;
+    pf_param_slots = param_slots;
+    pf_nslots = !nslots;
+    pf_slot_names = Array.of_list (List.rev !names_rev);
+    pf_blocks;
+  }
+
+let compile (m : modul) : t =
+  let funcs = Array.of_list m.m_funcs in
+  let func_index = Hashtbl.create (max 16 (2 * Array.length funcs)) in
+  (* First binding wins, mirroring [Ast.find_func]'s List.find_opt. *)
+  Array.iteri
+    (fun i f -> if not (Hashtbl.mem func_index f.f_name) then Hashtbl.add func_index f.f_name i)
+    funcs;
+  let globals = Array.of_list m.m_globals in
+  let global_index = Hashtbl.create 16 in
+  (* Last binding wins, mirroring the reference state's Hashtbl.replace. *)
+  Array.iteri (fun i g -> Hashtbl.replace global_index g.g_name i) globals;
+  {
+    p_src = m;
+    p_funcs = Array.map (compile_func ~func_index ~global_index) funcs;
+    p_func_index = func_index;
+    p_globals = globals;
+    p_global_index = global_index;
+  }

@@ -17,14 +17,13 @@ let report_prefixes =
   [ "__asan_report_"; "__msan_report"; "__ubsan_report_"; "__softbound_report";
     "__cets_report"; "__safecode_report"; "__stackcookie_report"; "__cfi_report" ]
 
-let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
-
-let is_report_handler name = List.exists (fun p -> has_prefix p name) report_prefixes
+let is_report_handler name =
+  List.exists (fun prefix -> String.starts_with ~prefix name) report_prefixes
 
 let helpers = [ bounds_ok; not_freed; in_alloc; init_ok; add_ok; mul_ok; shift_ok; code_ptr_ok ]
 
 let is_intrinsic name =
   name = malloc || name = free || name = print
-  || has_prefix syscall_prefix name
+  || String.starts_with ~prefix:syscall_prefix name
   || List.mem name helpers
   || is_report_handler name

@@ -710,3 +710,422 @@ let () =
           Alcotest.test_case "loop accepted" `Quick test_dominance_loop_ok;
         ] );
     ]
+
+(* Appended: differential suite — the precompiled fast engine against the
+   reference oracle.  The fast path must reproduce the ENTIRE run record
+   (outcome, events, timeline, hazards, step count) bit-for-bit, across
+   program shapes, sanitizer instrumentation, and layout seeds. *)
+
+module Inst = Bunshin_sanitizer.Instrument
+module San = Bunshin_sanitizer.Sanitizer
+
+let runs_identical (a : Interp.run) (b : Interp.run) =
+  a.Interp.outcome = b.Interp.outcome
+  && a.Interp.events = b.Interp.events
+  && a.Interp.timeline = b.Interp.timeline
+  && a.Interp.hazards = b.Interp.hazards
+  && a.Interp.steps = b.Interp.steps
+
+let diff_seeds = [ 0; 1; 12345 ]
+
+(* The module itself plus every sanitizer that instruments it cleanly,
+   alone and all-combined: instrumentation exercises the check-intrinsic
+   and report-handler paths of both engines. *)
+let sanitizer_variants m =
+  let apply label sans =
+    match Inst.apply sans m with Ok m' -> Some (label, m') | Error _ -> None
+  in
+  ("vanilla", m)
+  :: List.filter_map
+       (fun s -> apply (San.name s) [ s ])
+       San.all
+  @ Option.to_list (apply "all-combined" San.all)
+
+let assert_differential ?(entry = "main") ?(fuel = Interp.default_config.Interp.fuel)
+    name m args_list =
+  List.iter
+    (fun (variant, m) ->
+      let pm = Interp.compile m in
+      List.iter
+        (fun seed ->
+          let config = { Interp.default_config with layout_seed = seed; fuel } in
+          List.iter
+            (fun args ->
+              let fast = Interp.run_compiled ~config pm ~entry ~args in
+              let oracle = Interp.run_reference ~config m ~entry ~args in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s seed=%d args=[%s]" name variant seed
+                   (String.concat ";" (List.map Int64.to_string args)))
+                true
+                (runs_identical fast oracle))
+            args_list)
+        diff_seeds)
+    (sanitizer_variants m)
+
+(* ---- corpus ---- *)
+
+let blk label instrs term = { Ast.b_label = label; b_instrs = instrs; b_term = term }
+let func name params blocks = { Ast.f_name = name; f_params = params; f_blocks = blocks }
+let modul ?(globals = []) name funcs = { Ast.m_name = name; m_globals = globals; m_funcs = funcs }
+
+(* sum 0..n-1 through a phi loop *)
+let diff_phi_loop () =
+  modul "phi_loop"
+    [
+      func "main" [ "n" ]
+        [
+          blk "entry" [] (Ast.Br "head");
+          blk "head"
+            [
+              Ast.Phi ("i", [ ("entry", Ast.Int 0L); ("body", Ast.Reg "i2") ]);
+              Ast.Phi ("acc", [ ("entry", Ast.Int 0L); ("body", Ast.Reg "acc2") ]);
+              Ast.Cmp ("c", Ast.Slt, Ast.Reg "i", Ast.Reg "n");
+            ]
+            (Ast.CondBr (Ast.Reg "c", "body", "exit"));
+          blk "body"
+            [
+              Ast.Bin ("acc2", Ast.Add, Ast.Reg "acc", Ast.Reg "i");
+              Ast.Bin ("i2", Ast.Add, Ast.Reg "i", Ast.Int 1L);
+            ]
+            (Ast.Br "head");
+          blk "exit" [] (Ast.Ret (Some (Ast.Reg "acc")));
+        ];
+    ]
+
+(* indirect call through a function-pointer argument *)
+let diff_indirect () =
+  modul "indirect"
+    [
+      func "gadget" [] [ blk "entry" [] (Ast.Ret (Some (Ast.Int 7L))) ];
+      func "main" [ "fp" ]
+        [
+          blk "entry"
+            [ Ast.CallInd (Some "r", Ast.Reg "fp", []) ]
+            (Ast.Ret (Some (Ast.Reg "r")));
+        ];
+    ]
+
+(* recursion: factorial *)
+let diff_fact () =
+  modul "fact"
+    [
+      func "fact" [ "n" ]
+        [
+          blk "entry"
+            [ Ast.Cmp ("c", Ast.Sle, Ast.Reg "n", Ast.Int 1L) ]
+            (Ast.CondBr (Ast.Reg "c", "base", "rec"));
+          blk "base" [] (Ast.Ret (Some (Ast.Int 1L)));
+          blk "rec"
+            [
+              Ast.Bin ("n1", Ast.Sub, Ast.Reg "n", Ast.Int 1L);
+              Ast.Call (Some "r", "fact", [ Ast.Reg "n1" ]);
+              Ast.Bin ("p", Ast.Mul, Ast.Reg "n", Ast.Reg "r");
+            ]
+            (Ast.Ret (Some (Ast.Reg "p")));
+        ];
+      func "main" [ "n" ]
+        [
+          blk "entry"
+            [ Ast.Call (Some "r", "fact", [ Ast.Reg "n" ]) ]
+            (Ast.Ret (Some (Ast.Reg "r")));
+        ];
+    ]
+
+(* globals with partial init, pointer arithmetic, stores *)
+let diff_globals () =
+  modul "globals"
+    ~globals:
+      [
+        { Ast.g_name = "tab"; g_size = 4; g_init = [| 10L; 20L |] };
+        { Ast.g_name = "flag"; g_size = 1; g_init = [| 1L |] };
+      ]
+    [
+      func "main" []
+        [
+          blk "entry"
+            [
+              Ast.Gep ("p", Ast.Global "tab", Ast.Int 1L);
+              Ast.Load ("v", Ast.Reg "p");
+              Ast.Call (None, "print", [ Ast.Reg "v" ]);
+              Ast.Store (Ast.Int 33L, Ast.Global "flag");
+              Ast.Load ("w", Ast.Global "flag");
+              Ast.Bin ("s", Ast.Add, Ast.Reg "v", Ast.Reg "w");
+            ]
+            (Ast.Ret (Some (Ast.Reg "s")));
+        ];
+    ]
+
+(* uninitialised read feeding output: exercises undef_as *)
+let diff_uninit () =
+  modul "uninit"
+    [
+      func "main" []
+        [
+          blk "entry"
+            [
+              Ast.Call (Some "p", "malloc", [ Ast.Int 2L ]);
+              Ast.Load ("v", Ast.Reg "p");
+              Ast.Call (None, "print", [ Ast.Reg "v" ]);
+            ]
+            (Ast.Ret (Some (Ast.Reg "v")));
+        ];
+    ]
+
+(* syscalls, print, and every check intrinsic in one straight line *)
+let diff_intrinsics () =
+  modul "intrinsics"
+    [
+      func "main" [ "n" ]
+        [
+          blk "entry"
+            [
+              Ast.Call (Some "p", "malloc", [ Ast.Int 4L ]);
+              Ast.Call (None, "sys_write", [ Ast.Int 1L; Ast.Reg "n" ]);
+              Ast.Call (Some "b1", "__bunshin_bounds_ok", [ Ast.Reg "p" ]);
+              Ast.Call (Some "b2", "__bunshin_in_alloc", [ Ast.Reg "p" ]);
+              Ast.Call (Some "b3", "__bunshin_not_freed", [ Ast.Reg "p" ]);
+              Ast.Call (Some "b4", "__bunshin_init_ok", [ Ast.Reg "p" ]);
+              Ast.Call (Some "b5", "__bunshin_add_ok", [ Ast.Reg "n"; Ast.Int 1L ]);
+              Ast.Call (Some "b6", "__bunshin_mul_ok", [ Ast.Reg "n"; Ast.Int 3L ]);
+              Ast.Call (Some "b7", "__bunshin_shift_ok", [ Ast.Reg "n" ]);
+              Ast.Call (Some "b8", "__bunshin_code_ptr_ok", [ Ast.Reg "n" ]);
+              Ast.Call (None, "free", [ Ast.Reg "p" ]);
+              Ast.Call (None, "sys_exit", [ Ast.Int 0L ]);
+              Ast.Bin ("s", Ast.Add, Ast.Reg "b1", Ast.Reg "b8");
+            ]
+            (Ast.Ret (Some (Ast.Reg "s")));
+        ];
+    ]
+
+(* select on both arms, with an undef condition path *)
+let diff_select () =
+  modul "select"
+    [
+      func "main" [ "c" ]
+        [
+          blk "entry"
+            [
+              Ast.Select ("v", Ast.Reg "c", Ast.Int 10L, Ast.Int 20L);
+              Ast.Select ("w", Ast.Undef, Ast.Int 1L, Ast.Reg "v");
+              Ast.Bin ("s", Ast.Add, Ast.Reg "v", Ast.Reg "w");
+            ]
+            (Ast.Ret (Some (Ast.Reg "s")));
+        ];
+    ]
+
+(* stack use-after-return: callee leaks its alloca *)
+let diff_uar () =
+  modul "uar"
+    [
+      func "leak" []
+        [
+          blk "entry"
+            [
+              Ast.Alloca ("p", 2);
+              Ast.Store (Ast.Int 9L, Ast.Reg "p");
+            ]
+            (Ast.Ret (Some (Ast.Reg "p")));
+        ];
+      func "main" []
+        [
+          blk "entry"
+            [
+              Ast.Call (Some "p", "leak", []);
+              Ast.Load ("v", Ast.Reg "p");
+            ]
+            (Ast.Ret (Some (Ast.Reg "v")));
+        ];
+    ]
+
+(* report handler fires mid-run *)
+let diff_detect () =
+  modul "detect"
+    [
+      func "main" [ "n" ]
+        [
+          blk "entry"
+            [ Ast.Cmp ("c", Ast.Sgt, Ast.Reg "n", Ast.Int 0L) ]
+            (Ast.CondBr (Ast.Reg "c", "bad", "ok"));
+          blk "bad"
+            [ Ast.Call (None, "__asan_report_store", [ Ast.Reg "n" ]) ]
+            Ast.Unreachable;
+          blk "ok" [] (Ast.Ret (Some (Ast.Int 0L)));
+        ];
+    ]
+
+let diff_div0 () =
+  modul "div0"
+    [
+      func "main" [ "n" ]
+        [
+          blk "entry"
+            [ Ast.Bin ("q", Ast.Sdiv, Ast.Int 100L, Ast.Reg "n") ]
+            (Ast.Ret (Some (Ast.Reg "q")));
+        ];
+    ]
+
+let diff_unreachable () =
+  modul "unreach" [ func "main" [] [ blk "entry" [] Ast.Unreachable ] ]
+
+let diff_infinite () =
+  modul "spin" [ func "main" [] [ blk "entry" [] (Ast.Br "entry") ] ]
+
+(* ---- the tests ---- *)
+
+let test_diff_corpus () =
+  assert_differential "add" (prog_add 2 3) [ [] ];
+  assert_differential "branch" (prog_branch ()) [ [ 1L ]; [ -1L ]; [ 0L ] ];
+  assert_differential "heap in bounds" (prog_heap_rw 0) [ [] ];
+  assert_differential "heap redzone" (prog_heap_rw 4) [ [] ];
+  assert_differential "heap wild" (prog_heap_rw 4096) [ [] ];
+  assert_differential "uaf" (prog_uaf ~double_free:false) [ [] ];
+  assert_differential "double free" (prog_uaf ~double_free:true) [ [] ];
+  assert_differential "phi loop" (diff_phi_loop ()) [ [ 0L ]; [ 1L ]; [ 17L ] ];
+  assert_differential "fact" (diff_fact ()) [ [ 0L ]; [ 5L ]; [ 10L ] ];
+  assert_differential "globals" (diff_globals ()) [ [] ];
+  assert_differential "uninit" (diff_uninit ()) [ [] ];
+  assert_differential "intrinsics" (diff_intrinsics ()) [ [ 3L ]; [ 100L ]; [ -1L ] ];
+  assert_differential "select" (diff_select ()) [ [ 1L ]; [ 0L ] ];
+  assert_differential "uar" (diff_uar ()) [ [] ];
+  assert_differential "detect" (diff_detect ()) [ [ 1L ]; [ 0L ] ];
+  assert_differential "div0" (diff_div0 ()) [ [ 4L ]; [ 0L ] ];
+  assert_differential "unreachable" (diff_unreachable ()) [ [] ];
+  assert_differential ~fuel:100 "fuel" (diff_infinite ()) [ [] ]
+
+let test_diff_indirect () =
+  let m = diff_indirect () in
+  let good = Interp.address_of_func m "gadget" in
+  assert_differential "indirect" m [ [ good ]; [ 999L ]; [ 0L ] ]
+
+let test_diff_overflow_demo () =
+  let ic = open_in "../examples/ir/overflow_demo.bir" in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let m = Parser.parse_exn src in
+  assert_differential "overflow_demo" m [ [ 4L ]; [ 9L ]; [ 0L ] ]
+
+let test_diff_cve_cases () =
+  List.iter
+    (fun case ->
+      let m = case.Bunshin_attack.Cve.c_modul in
+      let entry = case.Bunshin_attack.Cve.c_entry in
+      assert_differential ~entry
+        ("cve " ^ case.Bunshin_attack.Cve.c_program)
+        m
+        [ case.Bunshin_attack.Cve.c_exploit_args; case.Bunshin_attack.Cve.c_benign ])
+    Bunshin_attack.Cve.cases
+
+(* Exception parity: lazy resolution errors must surface identically. *)
+let test_diff_errors () =
+  let catches f = match f () with _ -> None | exception e -> Some e in
+  let same name m args =
+    let pm = Interp.compile m in
+    let fast = catches (fun () -> Interp.run_compiled pm ~entry:"main" ~args) in
+    let oracle = catches (fun () -> Interp.run_reference m ~entry:"main" ~args) in
+    Alcotest.(check bool) name true (fast = oracle && fast <> None)
+  in
+  same "unbound register"
+    (modul "e1"
+       [
+         func "main" []
+           [ blk "entry" [ Ast.Bin ("x", Ast.Add, Ast.Reg "ghost", Ast.Int 1L) ]
+               (Ast.Ret (Some (Ast.Reg "x"))) ];
+       ])
+    [];
+  same "unknown global"
+    (modul "e2"
+       [
+         func "main" []
+           [ blk "entry" [ Ast.Load ("x", Ast.Global "nope") ] (Ast.Ret (Some (Ast.Reg "x"))) ];
+       ])
+    [];
+  same "unknown intrinsic"
+    (modul "e3"
+       [
+         func "main" []
+           [ blk "entry" [ Ast.Call (Some "x", "frobnicate", []) ] (Ast.Ret None) ];
+       ])
+    [];
+  same "jump to unknown block"
+    (modul "e4" [ func "main" [] [ blk "entry" [] (Ast.Br "nowhere") ] ])
+    [];
+  same "arity mismatch"
+    (modul "e5"
+       [
+         func "callee" [ "a"; "b" ] [ blk "entry" [] (Ast.Ret None) ];
+         func "main" []
+           [ blk "entry" [ Ast.Call (None, "callee", [ Ast.Int 1L ]) ] (Ast.Ret None) ];
+       ])
+    [];
+  same "function without blocks"
+    (modul "e6"
+       [
+         func "empty" [] [];
+         func "main" [] [ blk "entry" [ Ast.Call (None, "empty", []) ] (Ast.Ret None) ];
+       ])
+    [];
+  (* missing entry raises before any state exists, in both engines *)
+  let m = prog_add 1 1 in
+  let pm = Interp.compile m in
+  Alcotest.check_raises "missing entry (compiled)"
+    (Invalid_argument "Interp.run: no such function nope") (fun () ->
+      ignore (Interp.run_compiled pm ~entry:"nope" ~args:[]));
+  Alcotest.check_raises "missing entry (reference)"
+    (Invalid_argument "Interp.run: no such function nope") (fun () ->
+      ignore (Interp.run_reference m ~entry:"nope" ~args:[]))
+
+(* Telemetry parity: both engines drive the domain counters identically. *)
+let test_diff_telemetry () =
+  let counters m args =
+    let engine run =
+      let sink = Bunshin_telemetry.Telemetry.create () in
+      let dom = Bunshin_telemetry.Telemetry.domain sink ~name:"diff" in
+      ignore (run ~telemetry:dom ~entry:"main" ~args);
+      Bunshin_telemetry.Telemetry.metrics_to_text sink
+    in
+    ( engine (fun ~telemetry ~entry ~args -> Interp.run ~telemetry m ~entry ~args),
+      engine (fun ~telemetry ~entry ~args -> Interp.run_reference ~telemetry m ~entry ~args) )
+  in
+  let m = Inst.apply_exn [ San.asan ] (prog_heap_rw 4) in
+  let fast, oracle = counters m [] in
+  Alcotest.(check string) "asan oob counters" oracle fast;
+  let fast, oracle = counters (diff_intrinsics ()) [ 3L ] in
+  Alcotest.(check string) "intrinsics counters" oracle fast
+
+let prop_diff_random_seeds =
+  QCheck.Test.make ~name:"differential: random layout seeds" ~count:60
+    QCheck.(pair (int_range 0 100_000) (int_range (-4) 20))
+    (fun (seed, n) ->
+      let m = diff_phi_loop () in
+      let config = { Interp.default_config with layout_seed = seed } in
+      let args = [ Int64.of_int n ] in
+      runs_identical
+        (Interp.run ~config m ~entry:"main" ~args)
+        (Interp.run_reference ~config m ~entry:"main" ~args))
+
+let prop_diff_random_alloc =
+  QCheck.Test.make ~name:"differential: allocator traffic across seeds" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let m = Inst.apply_exn [ San.asan ] (prog_uaf ~double_free:true) in
+      let config = { Interp.default_config with layout_seed = seed } in
+      runs_identical
+        (Interp.run ~config m ~entry:"main" ~args:[])
+        (Interp.run_reference ~config m ~entry:"main" ~args:[]))
+
+let () =
+  Alcotest.run ~and_exit:false "bunshin_ir_differential"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "corpus x sanitizers x seeds" `Quick test_diff_corpus;
+          Alcotest.test_case "indirect calls" `Quick test_diff_indirect;
+          Alcotest.test_case "overflow_demo.bir" `Quick test_diff_overflow_demo;
+          Alcotest.test_case "cve cases" `Quick test_diff_cve_cases;
+          Alcotest.test_case "error parity" `Quick test_diff_errors;
+          Alcotest.test_case "telemetry parity" `Quick test_diff_telemetry;
+        ] );
+      ( "properties",
+        qcheck [ prop_diff_random_seeds; prop_diff_random_alloc ] );
+    ]
