@@ -919,6 +919,72 @@ let interp_section () =
   Printf.printf "\nwrote BENCH_interp.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Forensics: the incident report behind every Table 3/4 detection — the
+   blamed variant, blame basis, mismatch class, and attributed check site. *)
+
+let forensics_section () =
+  section "Forensics: blame attribution for the attack-suite detections";
+  let basis_str = function
+    | Forensics.Majority k -> Printf.sprintf "majority %d" k
+    | Forensics.Tie -> "tie"
+    | Forensics.Tie_broken_by_detection -> "tie/detection"
+  in
+  let mismatch_str = function
+    | Forensics.Argument_mismatch -> "argument"
+    | Forensics.Sequence_mismatch -> "sequence"
+    | Forensics.Premature_exit -> "premature exit"
+  in
+  let site_str = function
+    | None -> "-"
+    | Some cs ->
+      Printf.sprintf "%s #%d in %s" cs.Forensics.cs_pass cs.Forensics.cs_check_id
+        cs.Forensics.cs_func
+  in
+  let t =
+    Table.create
+      [
+        ("Case", Table.Left); ("Blamed", Table.Left); ("Basis", Table.Left);
+        ("Mismatch", Table.Left); ("Check site", Table.Left);
+      ]
+  in
+  let missing = ref 0 in
+  List.iter
+    (fun case ->
+      let v = Cve.evaluate case in
+      match v.Cve.v_incident with
+      | None ->
+        incr missing;
+        Table.add_row t [ case.Cve.c_program; "-"; "-"; "-"; "-" ]
+      | Some inc ->
+        Table.add_row t
+          [
+            case.Cve.c_program;
+            Printf.sprintf "v%d" inc.Forensics.inc_blamed;
+            basis_str inc.Forensics.inc_basis;
+            mismatch_str inc.Forensics.inc_mismatch;
+            site_str inc.Forensics.inc_check_site;
+          ])
+    Cve.cases;
+  Table.print t;
+  let ripe_detected, ripe_with_incident, ripe_with_site =
+    List.fold_left
+      (fun (d, i, s) combo ->
+        let o = Ripe_ir.evaluate combo in
+        if not o.Ripe_ir.ro_bunshin_detects then (d, i, s)
+        else
+          match o.Ripe_ir.ro_incident with
+          | None -> (d + 1, i, s)
+          | Some inc ->
+            (d + 1, i + 1, s + if inc.Forensics.inc_check_site <> None then 1 else 0))
+      (0, 0, 0) Ripe_ir.combos
+  in
+  Printf.printf
+    "\nRIPE-IR: %d detected combos, %d with incidents, %d with attributed check sites\n"
+    ripe_detected ripe_with_incident ripe_with_site;
+  if !missing > 0 then
+    Printf.printf "WARNING: %d CVE detection(s) lack an incident\n" !missing
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -942,6 +1008,7 @@ let sections =
     ("nvariant", nvariant);
     ("ablations", ablations);
     ("telemetry", telemetry_section);
+    ("forensics", forensics_section);
     ("bechamel", bechamel_section);
     ("interp", interp_section);
   ]

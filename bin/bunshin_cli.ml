@@ -240,6 +240,58 @@ let cve_cmd =
   Cmd.v (Cmd.info "cve" ~doc:"Replay the five CVE case studies (Table 4).")
     Term.(const run $ const ())
 
+let forensics_cmd =
+  let case_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"CASE"
+             ~doc:"CVE case program name (e.g. nginx-1.4.0); default: all cases.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit each incident as JSON.")
+  in
+  let run config case json =
+    let selected =
+      match case with
+      | None -> Cve.cases
+      | Some name -> List.filter (fun c -> c.Cve.c_program = name) Cve.cases
+    in
+    if selected = [] then begin
+      Printf.eprintf "unknown case %S (try `bunshin cve' for the list)\n"
+        (Option.value case ~default:"");
+      exit 1
+    end;
+    List.iter
+      (fun c ->
+        let report =
+          Bridge.run_ir_variants ~config ~entry:c.Cve.c_entry
+            ~args:c.Cve.c_exploit_args (Cve.variants c)
+        in
+        match (report.Nxe.outcome, report.Nxe.incident) with
+        | `All_finished, _ ->
+          Printf.printf "%-16s CVE-%-10s no divergence (all variants finished)\n"
+            c.Cve.c_program c.Cve.c_cve
+        | `Aborted _, None ->
+          (* run_traces files an incident with every abort; this is a bug. *)
+          Printf.eprintf "%-16s CVE-%-10s aborted without an incident\n"
+            c.Cve.c_program c.Cve.c_cve;
+          exit 1
+        | `Aborted _, Some inc ->
+          if json then print_endline (Forensics.to_json inc)
+          else begin
+            Printf.printf "== %s CVE-%s (%s, %s) ==\n" c.Cve.c_program c.Cve.c_cve
+              c.Cve.c_exploit c.Cve.c_sanitizer;
+            print_string (Forensics.to_text inc);
+            print_newline ()
+          end)
+      selected
+  in
+  Cmd.v
+    (Cmd.info "forensics"
+       ~doc:"Run the CVE case studies' sliced variants under the NXE on their exploit \
+             inputs and print the divergence incident report: per-variant flight-recorder \
+             tapes, majority-vote blame, and the attributed sanitizer check site.")
+    Term.(const run $ lockstep_arg $ case_arg $ json_arg)
+
 let exec_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A .bir IR file.")
@@ -362,9 +414,14 @@ let trace_cmd =
     Arg.(value & opt string "trace.json"
          & info [ "out" ] ~docv:"FILE" ~doc:"Chrome trace_event output file.")
   in
-  let metrics_arg =
+  let metrics_out_arg =
     Arg.(value & opt string "metrics.json"
-         & info [ "metrics" ] ~docv:"FILE" ~doc:"Metrics dump output file.")
+         & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Metrics dump output file.")
+  in
+  let metrics_flag =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Also print the flat metrics export (one metric per line) to stdout.")
   in
   let print_hist (name, h) =
     Printf.printf "  %-18s" name;
@@ -376,7 +433,7 @@ let trace_cmd =
       h;
     print_newline ()
   in
-  let run bench n config out metrics_file =
+  let run bench n config out metrics_file print_metrics =
     let sink = Telemetry.create () in
     let config = { config with Nxe.telemetry = Some sink } in
     (* Stage 1: the benchmark as N identical baseline builds under the NXE —
@@ -404,16 +461,26 @@ let trace_cmd =
         Printf.eprintf "cannot write %s: %s\n" file e;
         exit 1
     in
-    write out (Telemetry.to_chrome_json sink);
+    let chrome = Telemetry.to_chrome_json sink in
+    (* Exporter self-check: the emitted trace must actually be JSON, or
+       chrome://tracing will reject the file with no useful message. *)
+    (match Forensics.Json.parse chrome with
+     | Ok _ -> Printf.printf "trace JSON: valid (%d bytes)\n" (String.length chrome)
+     | Error e ->
+       Printf.eprintf "trace JSON: INVALID: %s\n" e;
+       exit 1);
+    write out chrome;
     write metrics_file (Telemetry.metrics_to_json sink);
     Printf.printf "wrote %s (%d events, %d dropped) and %s\n" out
-      (Telemetry.event_count sink) (Telemetry.dropped_events sink) metrics_file
+      (Telemetry.event_count sink) (Telemetry.dropped_events sink) metrics_file;
+    if print_metrics then print_string (Telemetry.metrics_to_text sink)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a traced session and export a Chrome trace_event JSON (open in \
              chrome://tracing or Perfetto) plus a metrics dump.")
-    Term.(const run $ bench_arg $ n_arg $ lockstep_arg $ out_arg $ metrics_arg)
+    Term.(const run $ bench_arg $ n_arg $ lockstep_arg $ out_arg $ metrics_out_arg
+          $ metrics_flag)
 
 let robustness_cmd =
   let run () =
@@ -437,7 +504,7 @@ let main =
        ~doc:"N-version execution that composites security mechanisms through diversification.")
     [
       list_cmd; profile_cmd; generate_cmd; run_cmd; exec_cmd; ripe_cmd; cve_cmd;
-      window_cmd; nvariant_cmd; robustness_cmd; trace_cmd;
+      forensics_cmd; window_cmd; nvariant_cmd; robustness_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main)

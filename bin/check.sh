@@ -25,4 +25,26 @@ dune exec bench/main.exe -- interp --quick
 echo "-- BENCH_interp.json"
 cat BENCH_interp.json
 
+# Forensics smoke: one CVE case through the NXE must file a non-empty
+# incident that blames a variant and attributes the firing sanitizer
+# check site — a regression anywhere on the detection -> report path
+# (recorder, blame vote, check-site join) fails here.
+echo "== forensics smoke (nginx CVE-2013-2028)"
+forensics_out=$(dune exec bin/bunshin_cli.exe -- forensics nginx-1.4.0)
+echo "$forensics_out"
+echo "$forensics_out" | grep -q "blamed: variant" || {
+  echo "forensics smoke: no blamed variant in the incident"; exit 1; }
+echo "$forensics_out" | grep -q "check site: asan check #" || {
+  echo "forensics smoke: no attributed check site in the incident"; exit 1; }
+
+# Trace smoke: the Chrome-trace exporter must emit JSON that actually
+# parses (the trace subcommand validates it and prints the marker line).
+echo "== trace smoke (chrome JSON validates)"
+trace_out=$(dune exec bin/bunshin_cli.exe -- trace bzip2 -n 2 \
+  --out _build/check_trace.json --metrics-out _build/check_metrics.json --metrics)
+echo "$trace_out" | grep -q "trace JSON: valid" || {
+  echo "trace smoke: exporter emitted invalid JSON"; exit 1; }
+echo "$trace_out" | grep -q "^counter " || {
+  echo "trace smoke: --metrics printed no flat metrics"; exit 1; }
+
 echo "OK"

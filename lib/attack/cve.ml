@@ -3,6 +3,7 @@ module B = Builder
 module San = Bunshin_sanitizer.Sanitizer
 module Inst = Bunshin_sanitizer.Instrument
 module Slicer = Bunshin_slicer.Slicer
+module Forensics = Bunshin_forensics.Forensics
 
 type case = {
   c_program : string;
@@ -192,6 +193,7 @@ type verdict = {
   v_diverged : bool;
   v_bunshin_detects : bool;
   v_benign_clean : bool;
+  v_incident : Forensics.incident option;
 }
 
 let sanitizer_of case =
@@ -203,17 +205,28 @@ let sanitizer_of case =
 let detected run =
   match run.Interp.outcome with Interp.Detected _ -> true | _ -> false
 
-let evaluate case =
+(* Check distribution over two variants: A keeps the checks of the
+   vulnerable function (removal elsewhere), B keeps the rest. *)
+let variants case =
   let san = sanitizer_of case in
   let inst = Inst.apply_exn [ san ] case.c_modul in
   let all_funcs = List.map (fun f -> f.Ast.f_name) case.c_modul.Ast.m_funcs in
   let others = List.filter (fun f -> f <> case.c_vuln_func) all_funcs in
-  (* Check distribution over two variants: A keeps the checks of the
-     vulnerable function (removal elsewhere), B keeps the rest. *)
+  [
+    Slicer.remove_checks ~in_funcs:others inst;
+    Slicer.remove_checks ~in_funcs:[ case.c_vuln_func ] inst;
+  ]
+
+let evaluate case =
+  let san = sanitizer_of case in
+  let inst = Inst.apply_exn [ san ] case.c_modul in
   (* Each module is interpreted twice (exploit + benign): compile once per
      module and reuse the precompiled form. *)
-  let variant_a = Interp.compile (Slicer.remove_checks ~in_funcs:others inst) in
-  let variant_b = Interp.compile (Slicer.remove_checks ~in_funcs:[ case.c_vuln_func ] inst) in
+  let variant_a, variant_b =
+    match variants case with
+    | [ a; b ] -> (Interp.compile a, Interp.compile b)
+    | _ -> assert false
+  in
   let inst = Interp.compile inst in
   let run pm args = Interp.run_compiled pm ~entry:case.c_entry ~args in
   let full_x = run inst case.c_exploit_args in
@@ -224,11 +237,27 @@ let evaluate case =
     match r.Interp.outcome with Interp.Finished _ -> true | _ -> false
   in
   let diverged = not (Interp.events_equal a_x b_x) in
+  let bunshin_detects = detected a_x || detected b_x || diverged in
+  (* Forensics: the incident the monitor would file for this abort — the
+     divergent slot of the variants' virtual syscall streams, with the
+     firing check site joined in from the sanitizer outcomes. *)
+  let incident =
+    if not bunshin_detects then None
+    else
+      Option.map
+        (fun inc ->
+          let det r =
+            match r.Interp.outcome with Interp.Detected d -> Some d | _ -> None
+          in
+          Forensics.refine_with_detections inc [| det a_x; det b_x |])
+        (Forensics.incident_of_runs [ a_x; b_x ])
+  in
   {
     v_full_sanitizer = detected full_x;
     v_variant_a = detected a_x;
     v_variant_b = detected b_x;
     v_diverged = diverged;
-    v_bunshin_detects = detected a_x || detected b_x || diverged;
+    v_bunshin_detects = bunshin_detects;
     v_benign_clean = benign_ok inst && benign_ok variant_a && benign_ok variant_b;
+    v_incident = incident;
   }

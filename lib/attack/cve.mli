@@ -34,6 +34,16 @@ type case = {
 val cases : case list
 (** The five Table 4 rows. *)
 
+val sanitizer_of : case -> Bunshin_sanitizer.Sanitizer.t
+(** The sanitizer named by [c_sanitizer].
+    @raise Invalid_argument on an unknown name. *)
+
+val variants : case -> Ast.modul list
+(** The case's 2-variant check distribution: instrument with the case
+    sanitizer, then [A] keeps only the vulnerable function's checks and
+    [B] keeps everything else.  What {!evaluate} runs, exposed so a
+    full-stack driver can push the same modules through the NXE bridge. *)
+
 type verdict = {
   v_full_sanitizer : bool;   (** full instrumentation detects the exploit *)
   v_variant_a : bool;        (** variant holding the check detects it *)
@@ -41,6 +51,10 @@ type verdict = {
   v_diverged : bool;         (** the two variants' event streams diverge *)
   v_bunshin_detects : bool;  (** the NXE monitor's decision *)
   v_benign_clean : bool;     (** benign input triggers nothing anywhere *)
+  v_incident : Bunshin_forensics.Forensics.incident option;
+      (** the forensic incident behind a detection: blamed variant and
+          attributed check site ([None] when nothing was detected, or when
+          both variants detected identically so no stream diverged) *)
 }
 
 val evaluate : case -> verdict

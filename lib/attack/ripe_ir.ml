@@ -3,6 +3,7 @@ module B = Builder
 module San = Bunshin_sanitizer.Sanitizer
 module Inst = Bunshin_sanitizer.Instrument
 module Slicer = Bunshin_slicer.Slicer
+module Forensics = Bunshin_forensics.Forensics
 
 type location = Stack | Heap | Bss | Data
 
@@ -186,6 +187,7 @@ type outcome = {
   ro_cookie_detects : bool;
   ro_cfi_detects : bool;
   ro_benign_clean : bool;
+  ro_incident : Forensics.incident option;
 }
 
 let succeeded c run =
@@ -225,13 +227,25 @@ let evaluate c =
     let r = run pm benign_args in
     finished r && not (succeeded c r)
   in
+  let bunshin_detects = detected ra || detected rb || not (Interp.events_equal ra rb) in
+  let incident =
+    if not bunshin_detects then None
+    else
+      Option.map
+        (fun inc ->
+          let det r =
+            match r.Interp.outcome with Interp.Detected d -> Some d | _ -> None
+          in
+          Forensics.refine_with_detections inc [| det ra; det rb |])
+        (Forensics.incident_of_runs [ ra; rb ])
+  in
   {
     ro_vanilla_succeeds = succeeded c vanilla;
     ro_asan_detects = detected asan_run;
-    ro_bunshin_detects =
-      detected ra || detected rb || not (Interp.events_equal ra rb);
+    ro_bunshin_detects = bunshin_detects;
     ro_cookie_detects = detected cookie_run;
     ro_cfi_detects = detected cfi_run;
     ro_benign_clean =
       benign_ok vanilla_pm && benign_ok asan_pm && benign_ok variant_a && benign_ok variant_b;
+    ro_incident = incident;
   }

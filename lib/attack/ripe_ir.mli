@@ -53,6 +53,9 @@ type outcome = {
   ro_cookie_detects : bool;
   ro_cfi_detects : bool;
   ro_benign_clean : bool;
+  ro_incident : Bunshin_forensics.Forensics.incident option;
+      (** forensic incident behind a Bunshin detection: divergent slot,
+          blamed variant, attributed check site ([None] when undetected) *)
 }
 
 val evaluate : combo -> outcome

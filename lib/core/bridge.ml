@@ -2,6 +2,7 @@ module Interp = Bunshin_ir.Interp
 module Trace = Bunshin_program.Trace
 module Sc = Bunshin_syscall.Syscall
 module Nxe = Bunshin_nxe.Nxe
+module Forensics = Bunshin_forensics.Forensics
 
 let strip_sys_prefix name =
   let p = Bunshin_ir.Runtime_api.syscall_prefix in
@@ -35,7 +36,7 @@ let trace_of_run ?(us_per_kinstr = 10.0) (run : Interp.run) =
 
 let run_ir_variants ?config ?us_per_kinstr ~entry ~args moduls =
   let sink = Option.bind config (fun c -> c.Nxe.telemetry) in
-  let traces =
+  let runs =
     List.mapi
       (fun i m ->
         (* Each variant interprets in its own instruction-step clock domain
@@ -46,9 +47,23 @@ let run_ir_variants ?config ?us_per_kinstr ~entry ~args moduls =
               Bunshin_telemetry.Telemetry.domain s ~name:(Printf.sprintf "interp:v%d" i))
             sink
         in
-        trace_of_run ?us_per_kinstr
-          (Interp.run_compiled ?telemetry (Interp.compile m) ~entry ~args))
+        Interp.run_compiled ?telemetry (Interp.compile m) ~entry ~args)
       moduls
   in
+  let traces = List.map (trace_of_run ?us_per_kinstr) runs in
   let names = List.mapi (fun i _ -> Printf.sprintf "ir-v%d" i) moduls in
-  Nxe.run_traces ?config ~names traces
+  let report = Nxe.run_traces ?config ~names traces in
+  match report.Nxe.incident with
+  | None -> report
+  | Some inc ->
+    (* This layer knows each variant's sanitizer outcome: join the firing
+       check site into the incident (and let a lone detection break a
+       2-variant blame tie). *)
+    let dets =
+      Array.of_list
+        (List.map
+           (fun r ->
+             match r.Interp.outcome with Interp.Detected d -> Some d | _ -> None)
+           runs)
+    in
+    { report with Nxe.incident = Some (Forensics.refine_with_detections inc dets) }

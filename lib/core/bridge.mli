@@ -29,7 +29,10 @@ val run_ir_variants :
     traces, and synchronize them under the NXE (variant 0 leads).  A
     divergence alert here is the full-stack reproduction of the paper's
     detection story: sliced variants agree on benign inputs and diverge at
-    the report syscall under attack.  When [config.telemetry] is set, each
+    the report syscall under attack.  On an abort, the report's incident
+    carries full forensics: this layer joins each variant's sanitizer
+    outcome in, so the blamed variant's firing check site (pass, check id,
+    IR location) is attributed.  When [config.telemetry] is set, each
     variant's interpretation is traced in its own instruction-step domain
     ([interp:v0], [interp:v1], ...) on the same sink, alongside the nxe and
     machine domains. *)

@@ -21,7 +21,7 @@ type hazard =
   | Double_free of int64
   | Bad_free of int64
 
-type detection = { d_handler : string; d_func : string }
+type detection = { d_handler : string; d_func : string; d_block : string }
 
 type outcome =
   | Finished of int64 option
@@ -303,7 +303,7 @@ let eval_cmpop st op va vb =
 
 let check_result b = VInt (if b then 1L else 0L)
 
-let call_intrinsic_raw st ~in_func name args =
+let call_intrinsic_raw st ~in_func ~in_block name args =
   let arg n =
     match List.nth_opt args n with
     | Some v -> v
@@ -314,10 +314,10 @@ let call_intrinsic_raw st ~in_func name args =
      | Some tel ->
        Tel.Counter.incr tel.i_detect;
        Tel.instant tel.i_dom
-         ~args:[ ("handler", name); ("func", in_func) ]
+         ~args:[ ("handler", name); ("func", in_func); ("block", in_block) ]
          ~ts:(float_of_int st.steps) ~cat:"interp" "detected"
      | None -> ());
-    raise (Trap (Detected { d_handler = name; d_func = in_func }))
+    raise (Trap (Detected { d_handler = name; d_func = in_func; d_block = in_block }))
   end
   else if String.starts_with ~prefix:Runtime_api.syscall_prefix name then begin
     (* Hoisted above the name-equality chain: no modelled-syscall name
@@ -371,22 +371,22 @@ let call_intrinsic_raw st ~in_func name args =
     check_result (n >= 0L && n < 64L)
   else invalid_arg ("Interp: unknown intrinsic " ^ name)
 
-let call_intrinsic st ~in_func name args =
+let call_intrinsic st ~in_func ~in_block name args =
   match st.tel with
   | Some tel when List.mem name Runtime_api.helpers ->
-    let r = call_intrinsic_raw st ~in_func name args in
+    let r = call_intrinsic_raw st ~in_func ~in_block name args in
     Tel.Counter.incr tel.i_hits;
     (match r with VInt 0L -> Tel.Counter.incr tel.i_fails | _ -> ());
     r
-  | _ -> call_intrinsic_raw st ~in_func name args
+  | _ -> call_intrinsic_raw st ~in_func ~in_block name args
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)
 
-let rec exec_call st ~depth ~caller fname (args : rvalue list) : rvalue =
+let rec exec_call st ~depth ~caller ~caller_block fname (args : rvalue list) : rvalue =
   if depth > st.cfg.max_depth then raise (Trap (Crashed Stack_overflow_sim));
   match find_func st.modul fname with
-  | None -> call_intrinsic st ~in_func:caller fname args
+  | None -> call_intrinsic st ~in_func:caller ~in_block:caller_block fname args
   | Some f ->
     if List.length args <> List.length f.f_params then
       invalid_arg
@@ -452,7 +452,10 @@ let rec exec_call st ~depth ~caller fname (args : rvalue list) : rvalue =
           | Store (v, p) -> mem_store st (eval v) (eval p)
           | Gep (r, p, idx) -> set r (eval_binop st Add (eval p) (eval idx))
           | Call (dst, callee, cargs) ->
-            let result = exec_call st ~depth:(depth + 1) ~caller:fname callee (List.map eval cargs) in
+            let result =
+              exec_call st ~depth:(depth + 1) ~caller:fname ~caller_block:b.b_label callee
+                (List.map eval cargs)
+            in
             (match dst with Some r -> set r result | None -> ())
           | CallInd (dst, fp, cargs) ->
             let target =
@@ -464,7 +467,10 @@ let rec exec_call st ~depth ~caller fname (args : rvalue list) : rvalue =
                 | Some fn -> fn
                 | None -> raise (Trap (Crashed (Bad_indirect_call addr))))
             in
-            let result = exec_call st ~depth:(depth + 1) ~caller:fname target (List.map eval cargs) in
+            let result =
+              exec_call st ~depth:(depth + 1) ~caller:fname ~caller_block:b.b_label target
+                (List.map eval cargs)
+            in
             (match dst with Some r -> set r result | None -> ())
           | Select (r, c, a, bv) -> set r (if truthy st (eval c) then eval a else eval bv))
         rest;
@@ -476,7 +482,8 @@ let rec exec_call st ~depth ~caller fname (args : rvalue list) : rvalue =
         finish result
       | Br l -> jump b.b_label l
       | CondBr (c, l1, l2) -> jump b.b_label (if truthy st (eval c) then l1 else l2)
-      | Unreachable -> raise (Trap (Detected { d_handler = "unreachable"; d_func = fname }))
+      | Unreachable ->
+        raise (Trap (Detected { d_handler = "unreachable"; d_func = fname; d_block = b.b_label }))
     and jump from l =
       match find_block f l with
       | Some b -> run_block (Some from) b
@@ -503,7 +510,10 @@ let run_reference ?(config = default_config) ?telemetry modul ~entry ~args =
   let st = init_state ?telemetry config modul in
   let outcome =
     try
-      let v = exec_call st ~depth:0 ~caller:entry entry (List.map (fun n -> VInt n) args) in
+      let v =
+        exec_call st ~depth:0 ~caller:entry ~caller_block:"" entry
+          (List.map (fun n -> VInt n) args)
+      in
       Finished (Some (to_int st v))
     with Trap o -> o
   in
@@ -711,7 +721,7 @@ let feval_cmpop fst op va vb =
 
 let fcheck b = if b then vtrue else vfalse
 
-let fcall_intrinsic_raw fst ~in_func intr (args : P.rvalue array) : P.rvalue =
+let fcall_intrinsic_raw fst ~in_func ~in_block intr (args : P.rvalue array) : P.rvalue =
   let arg n =
     if n < Array.length args then Array.unsafe_get args n
     else invalid_arg (Printf.sprintf "intrinsic %s: missing argument %d" (P.intr_name intr) n)
@@ -722,10 +732,10 @@ let fcall_intrinsic_raw fst ~in_func intr (args : P.rvalue array) : P.rvalue =
      | Some tel ->
        Tel.Counter.incr tel.i_detect;
        Tel.instant tel.i_dom
-         ~args:[ ("handler", name); ("func", in_func) ]
+         ~args:[ ("handler", name); ("func", in_func); ("block", in_block) ]
          ~ts:(float_of_int fst.f_steps) ~cat:"interp" "detected"
      | None -> ());
-    raise (Trap (Detected { d_handler = name; d_func = in_func }))
+    raise (Trap (Detected { d_handler = name; d_func = in_func; d_block = in_block }))
   | P.ISyscall name ->
     frecord_event fst (Syscall (name, List.map (fto_int fst) (Array.to_list args)));
     P.VInt 0L
@@ -780,14 +790,14 @@ let fcall_intrinsic_raw fst ~in_func intr (args : P.rvalue array) : P.rvalue =
     fcheck (n >= 0L && n < 64L)
   | P.IUnknown name -> invalid_arg ("Interp: unknown intrinsic " ^ name)
 
-let fcall_intrinsic fst ~in_func intr args =
+let fcall_intrinsic fst ~in_func ~in_block intr args =
   match fst.f_tel with
   | Some tel when P.intr_is_helper intr ->
-    let r = fcall_intrinsic_raw fst ~in_func intr args in
+    let r = fcall_intrinsic_raw fst ~in_func ~in_block intr args in
     Tel.Counter.incr tel.i_hits;
     (match r with P.VInt 0L -> Tel.Counter.incr tel.i_fails | _ -> ());
     r
-  | _ -> fcall_intrinsic_raw fst ~in_func intr args
+  | _ -> fcall_intrinsic_raw fst ~in_func ~in_block intr args
 
 (* Incoming edge of a phi for predecessor block [prev], or a compiled
    [undef] when no edge matches — the reference's List.assoc_opt miss. *)
@@ -936,7 +946,7 @@ and fexec_body fst ~depth (f : P.pfunc) (args : P.rvalue array) : P.rvalue =
                depth guard therefore also applies to them. *)
             if depth + 1 > fst.f_cfg.max_depth then
               raise (Trap (Crashed Stack_overflow_sim));
-            fcall_intrinsic fst ~in_func:f.P.pf_name it cargs
+            fcall_intrinsic fst ~in_func:f.P.pf_name ~in_block:b.P.pb_label it cargs
         in
         if dst >= 0 then frame.(dst) <- r
       | P.PCallInd (dst, fp, pargs) ->
@@ -974,7 +984,9 @@ and fexec_body fst ~depth (f : P.pfunc) (args : P.rvalue array) : P.rvalue =
     | P.PBr t -> fjump bi t
     | P.PCondBr (c, t1, t2) -> fjump bi (if ftruthy fst (feval fst f frame c) then t1 else t2)
     | P.PUnreachable ->
-      raise (Trap (Detected { d_handler = "unreachable"; d_func = f.P.pf_name }))
+      raise
+        (Trap
+           (Detected { d_handler = "unreachable"; d_func = f.P.pf_name; d_block = b.P.pb_label }))
   and fjump from = function
     | P.TBlock bi -> run_block from bi
     | P.TUnknown l ->

@@ -42,6 +42,12 @@ type hazard =
 type detection = {
   d_handler : string;  (** report handler that fired, e.g. __asan_report_store *)
   d_func : string;     (** function containing the failed check *)
+  d_block : string;    (** basic block from which the handler was called —
+                           for instrumented code this is the check's sink
+                           block ([san.fail.N]), whose [N] is the check id
+                           forensics uses for check-site attribution; [""]
+                           when the handler was called from outside any
+                           block (top-level entry) *)
 }
 
 type outcome =

@@ -83,6 +83,7 @@ type pterm =
   | PUnreachable
 
 type pblock = {
+  pb_label : string;
   pb_phis : pphi array;
   pb_scratch : rvalue array;
   pb_body : pinstr array;
@@ -202,6 +203,7 @@ let compile_func ~func_index ~global_index (f : func) : pfunc =
       | Unreachable -> PUnreachable
     in
     {
+      pb_label = b.b_label;
       pb_phis;
       pb_scratch = Array.make (Array.length pb_phis) VUndef;
       pb_body = Array.of_list (List.map cinstr body);

@@ -103,6 +103,9 @@ type pterm =
   | PUnreachable
 
 type pblock = {
+  pb_label : string;
+      (** original AST label — kept so detections can name the IR location
+          (check-site attribution) identically to the reference engine *)
   pb_phis : pphi array;
   pb_scratch : rvalue array;
       (** same length as [pb_phis]; phi values are computed here before

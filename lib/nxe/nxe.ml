@@ -5,6 +5,7 @@ module Trace = Bunshin_program.Trace
 module Program = Bunshin_program.Program
 module Vec = Bunshin_util.Vec
 module Tel = Bunshin_telemetry.Telemetry
+module F = Bunshin_forensics.Forensics
 
 type mode = Strict_lockstep | Selective_lockstep
 
@@ -17,6 +18,7 @@ type config = {
   resched_cost : float;
   weak_determinism : bool;
   sync_shared_memory : bool;
+  recorder_depth : int;
   telemetry : Tel.sink option;
 }
 
@@ -33,6 +35,7 @@ let default_config =
     resched_cost = 0.25;
     weak_determinism = true;
     sync_shared_memory = true;
+    recorder_depth = 16;
     telemetry = None;
   }
 
@@ -44,10 +47,13 @@ type alert = {
   al_variant : int;
   al_expected : string;
   al_got : string;
+  al_expected_sc : Sc.t option;
+  al_got_sc : Sc.t option;
 }
 
 type report = {
   outcome : [ `All_finished | `Aborted of alert ];
+  incident : F.incident option;
   total_time : float;
   variant_finish : float list;
   variant_cpu : float list;
@@ -79,6 +85,10 @@ type chan = {
   fol_done : bool array;
   leader_q : M.Waitq.t;
   fol_q : M.Waitq.t array;
+  tapes : F.Tape.t array;
+  (* per-variant flight recorder: the last K slots each variant
+     published/fetched on this channel, always on (allocation-free
+     recording), so an abort can reconstruct who went off-script *)
 }
 
 (* Weak-determinism replay state: one per process path, shared by all
@@ -114,6 +124,7 @@ type t = {
   sensitivities : float array;
   names : string array;
   mutable failed : alert option;
+  mutable failed_at : float; (* machine time of the abort *)
   mutable chan_count : int;
   mutable all_chans : chan list;
   mutable all_dets : det list;
@@ -144,6 +155,7 @@ let lane nxe chan ~variant = (chan.ch_id * nxe.n) + variant
 let fail nxe alert =
   if nxe.failed = None then begin
     nxe.failed <- Some alert;
+    nxe.failed_at <- M.now nxe.machine;
     (match nxe.tel with
      | Some tel ->
        Tel.Counter.incr tel.t_alerts;
@@ -181,6 +193,7 @@ let get_chan nxe path =
         fol_done = Array.make nf false;
         leader_q = M.Waitq.create ();
         fol_q = Array.init nf (fun _ -> M.Waitq.create ());
+        tapes = Array.init nxe.n (fun _ -> F.Tape.create ~depth:nxe.cfg.recorder_depth);
       }
     in
     nxe.chan_count <- nxe.chan_count + 1;
@@ -275,6 +288,7 @@ let leader_sync nxe chan sc =
   M.compute m nxe.cfg.checkin_cost;
   let pos = chan.leader_pos in
   Vec.push chan.slots { s_sc = sc; s_ready = false; s_arrived = 0 };
+  F.Tape.record chan.tapes.(0) ~pos ~time:(M.now m) sc;
   chan.leader_pos <- pos + 1;
   nxe.synced <- nxe.synced + 1;
   let gap = pos - min_live_cursor chan in
@@ -308,6 +322,8 @@ let leader_sync nxe chan sc =
                   al_variant = i + 1;
                   al_expected = sc.Sc.name;
                   al_got = "<exit>";
+                  al_expected_sc = Some sc;
+                  al_got_sc = None;
                 })
           chan.fol_done;
         if (not (aborted nxe)) && slot.s_arrived < live_followers chan then begin
@@ -379,8 +395,9 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
       follower_sync_body ~on_signal nxe chan ~variant sc
     end
   end
-  else if chan.leader_pos <= pos then
+  else if chan.leader_pos <= pos then begin
     (* Leader exited; this variant issues an extra syscall. *)
+    F.Tape.record chan.tapes.(variant) ~pos ~time:(M.now m) sc;
     fail nxe
       {
         al_channel = chan.ch_id;
@@ -388,9 +405,13 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
         al_variant = variant;
         al_expected = "<exit>";
         al_got = sc.Sc.name;
+        al_expected_sc = None;
+        al_got_sc = Some sc;
       }
+  end
   else begin
     let slot = Vec.get chan.slots pos in
+    F.Tape.record chan.tapes.(variant) ~pos ~time:(M.now m) sc;
     if not (Sc.args_match slot.s_sc sc) then
       fail nxe
         {
@@ -399,6 +420,8 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
           al_variant = variant;
           al_expected = Format.asprintf "%a" Sc.pp slot.s_sc;
           al_got = Format.asprintf "%a" Sc.pp sc;
+          al_expected_sc = Some slot.s_sc;
+          al_got_sc = Some sc;
         }
     else begin
       slot.s_arrived <- slot.s_arrived + 1;
@@ -457,9 +480,12 @@ let follower_shared_fetch nxe chan ~variant ~pos dst =
         al_variant = variant;
         al_expected = "<exit>";
         al_got = "shared-memory access";
+        al_expected_sc = None;
+        al_got_sc = None;
       }
   else begin
     let slot = Vec.get chan.slots pos in
+    F.Tape.record chan.tapes.(variant) ~pos ~time:(M.now m) slot.s_sc;
     (match slot.s_sc.Sc.args with
      | [ _; content ] -> dst := content
      | _ ->
@@ -470,6 +496,8 @@ let follower_shared_fetch nxe chan ~variant ~pos dst =
            al_variant = variant;
            al_expected = Format.asprintf "%a" Sc.pp slot.s_sc;
            al_got = "shared-memory access";
+           al_expected_sc = Some slot.s_sc;
+           al_got_sc = None;
          });
     if not (aborted nxe) then begin
       slot.s_arrived <- slot.s_arrived + 1;
@@ -694,6 +722,8 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
       ("synccall_cost", config.synccall_cost);
       ("resched_cost", config.resched_cost);
     ];
+  if config.recorder_depth < 1 then
+    invalid_arg "Nxe.run_traces: recorder_depth must be >= 1";
   let working_sets =
     match working_sets with
     | Some ws ->
@@ -756,6 +786,7 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
       sensitivities;
       names = Array.of_list names;
       failed = None;
+      failed_at = 0.0;
       chan_count = 0;
       all_chans = [];
       all_dets = [];
@@ -811,8 +842,48 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
             if v' = v then acc +. M.proc_cpu_time machine proc else acc)
           nxe.proc_reg 0.0)
   in
+  (* Blame attribution: at an abort, every variant's flight recorder (plus
+     the slot stream, for entries the bounded tapes already evicted) yields
+     its vote at the divergent slot; the majority names the outlier. *)
+  let incident =
+    match nxe.failed with
+    | None -> None
+    | Some a -> (
+      match List.find_opt (fun c -> c.ch_id = a.al_channel) nxe.all_chans with
+      | None -> None
+      | Some ch ->
+        let pos = a.al_position in
+        let slot_rec () =
+          if pos < Vec.length ch.slots then begin
+            let sc = (Vec.get ch.slots pos).s_sc in
+            (* Evicted from the tape: the slot stream still knows what was
+               issued there, just not when. *)
+            Some { F.r_pos = pos; r_name = sc.Sc.name; r_args = sc.Sc.args; r_time = 0.0 }
+          end
+          else None
+        in
+        let vote_of v =
+          match F.Tape.find ch.tapes.(v) ~pos with
+          | Some r -> F.Issued r
+          | None ->
+            let passed =
+              if v = 0 then ch.leader_pos > pos else ch.cursors.(v - 1) > pos
+            in
+            let exited = if v = 0 then ch.leader_done else ch.fol_done.(v - 1) in
+            if passed then
+              match slot_rec () with Some r -> F.Issued r | None -> F.Pending
+            else if exited then F.Exited
+            else F.Pending
+        in
+        Some
+          (F.build ~channel:a.al_channel ~position:pos ~flagged:a.al_variant
+             ~expected:a.al_expected ~got:a.al_got ~time:nxe.failed_at
+             ~votes:(Array.init n vote_of)
+             ~tapes:(Array.init n (fun v -> F.Tape.to_list ch.tapes.(v)))))
+  in
   {
     outcome = (match nxe.failed with None -> `All_finished | Some a -> `Aborted a);
+    incident;
     total_time = (M.stats machine).M.total_time;
     variant_finish;
     variant_cpu;

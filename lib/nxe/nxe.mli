@@ -43,6 +43,11 @@ type config = {
   sync_shared_memory : bool;
       (** §3.3's poisoned-page mechanism: copy externally-shared mapped
           content from the leader to followers on access *)
+  recorder_depth : int;
+      (** slots retained per (channel, variant) by the divergence flight
+          recorder (default 16).  The recorder is always on — recording is
+          allocation-free, like the report histograms — and feeds the
+          {!report.incident} blame attribution on abort.  Must be ≥ 1. *)
   telemetry : Bunshin_telemetry.Telemetry.sink option;
       (** attach a trace sink: the engine opens an ["nxe"] clock domain
           (machine µs) with one track per (channel, variant), records
@@ -70,10 +75,23 @@ type alert = {
   al_variant : int;    (** follower that diverged *)
   al_expected : string;
   al_got : string;
+  al_expected_sc : Bunshin_syscall.Syscall.t option;
+      (** the syscall the agreeing side issued at the slot ([None] when the
+          expectation was end-of-stream) *)
+  al_got_sc : Bunshin_syscall.Syscall.t option;
+      (** the offending variant's own syscall, with its arguments ([None]
+          when it exited, or diverged on a shared-memory access) *)
 }
 
 type report = {
   outcome : [ `All_finished | `Aborted of alert ];
+  incident : Bunshin_forensics.Forensics.incident option;
+      (** divergence forensics, present exactly when the outcome is
+          [`Aborted]: per-variant flight-recorder tapes around the
+          divergent slot, the majority-vote blame verdict, and the
+          mismatch classification.  Check-site attribution is joined in by
+          the layer that knows the variants' sanitizer outcomes (see
+          {!Bunshin_forensics.Forensics.refine_with_detections}). *)
   total_time : float;           (** machine time until the last variant exits *)
   variant_finish : float list;  (** per-variant finish times *)
   variant_cpu : float list;     (** per-variant CPU consumed (incl. sync work) *)

@@ -169,6 +169,13 @@ let name_track d ~tid name =
 
 let events s = List.init s.len (fun i -> s.ring.((s.start + i) mod s.cap))
 let event_count s = s.len
+
+let recent s n =
+  if n < 0 then invalid_arg "Telemetry.recent: negative window";
+  let n = min n s.len in
+  let first = s.len - n in
+  List.init n (fun i -> s.ring.((s.start + first + i) mod s.cap))
+
 let dropped_events s = s.dropped
 
 (* ------------------------------------------------------------------ *)

@@ -76,6 +76,14 @@ val name_track : domain -> tid:int -> string -> unit
 val events : sink -> event list
 (** Surviving events, oldest first. *)
 
+val recent : sink -> int -> event list
+(** [recent s n]: the last [n] surviving events, oldest first (newest
+    last) — i.e. the tail of {!events}.  Events already evicted from the
+    ring are gone (see {!dropped_events}), so after an overflow the window
+    starts at the oldest survivor; [n] larger than {!event_count} returns
+    everything.
+    @raise Invalid_argument if [n < 0]. *)
+
 val event_count : sink -> int
 val dropped_events : sink -> int
 (** Events evicted from the ring since {!create}. *)

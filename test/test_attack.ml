@@ -3,6 +3,7 @@
 
 module Ripe = Bunshin_attack.Ripe
 module Cve = Bunshin_attack.Cve
+module Forensics = Bunshin_forensics.Forensics
 module Spec = Bunshin_workloads.Spec
 module Mt = Bunshin_workloads.Multithreaded
 module Server = Bunshin_workloads.Server
@@ -75,7 +76,16 @@ let test_cve_all_detected_by_bunshin () =
         v.Cve.v_full_sanitizer;
       Alcotest.(check bool) (case.Cve.c_program ^ " bunshin detects") true
         v.Cve.v_bunshin_detects;
-      Alcotest.(check bool) (case.Cve.c_program ^ " benign clean") true v.Cve.v_benign_clean)
+      Alcotest.(check bool) (case.Cve.c_program ^ " benign clean") true v.Cve.v_benign_clean;
+      (* Every detection ships its forensics: a blamed variant and, since
+         the detecting side's sanitizer fired, an attributed check site. *)
+      match v.Cve.v_incident with
+      | None -> Alcotest.fail (case.Cve.c_program ^ " detection lacks an incident")
+      | Some inc ->
+        Alcotest.(check bool) (case.Cve.c_program ^ " check site attributed") true
+          (match inc.Forensics.inc_check_site with
+           | Some cs -> cs.Forensics.cs_check_id >= 0
+           | None -> false))
     Cve.cases
 
 let test_cve_check_lives_in_variant_a () =
@@ -305,6 +315,15 @@ let test_micro_ripe_bunshin_equals_asan () =
         o.Rir.ro_asan_detects o.Rir.ro_bunshin_detects)
     (Lazy.force micro_outcomes)
 
+let test_micro_ripe_detections_carry_incidents () =
+  List.iter
+    (fun (c, o) ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a incident iff detected" Rir.pp_combo c)
+        o.Rir.ro_bunshin_detects
+        (o.Rir.ro_incident <> None))
+    (Lazy.force micro_outcomes)
+
 let test_micro_ripe_benign_clean () =
   List.iter
     (fun (c, o) ->
@@ -330,6 +349,8 @@ let () =
           Alcotest.test_case "asan catches cross-object" `Quick test_micro_ripe_asan_catches_cross_object;
           Alcotest.test_case "intra-object survives" `Quick test_micro_ripe_intra_object_survives;
           Alcotest.test_case "bunshin = asan" `Quick test_micro_ripe_bunshin_equals_asan;
+          Alcotest.test_case "detections carry incidents" `Quick
+            test_micro_ripe_detections_carry_incidents;
           Alcotest.test_case "benign clean" `Quick test_micro_ripe_benign_clean;
           Alcotest.test_case "weaker defenses" `Quick test_micro_ripe_weaker_defenses;
         ] );

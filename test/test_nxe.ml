@@ -88,7 +88,52 @@ let test_argument_divergence_detected () =
   match r.Nxe.outcome with
   | `Aborted a ->
     Alcotest.(check int) "variant 1 diverged" 1 a.Nxe.al_variant;
-    Alcotest.(check int) "at position 0" 0 a.Nxe.al_position
+    Alcotest.(check int) "at position 0" 0 a.Nxe.al_position;
+    (* The alert names the offending syscall itself, not just a string. *)
+    Alcotest.(check int) "channel id" 0 a.Nxe.al_channel;
+    (match (a.Nxe.al_expected_sc, a.Nxe.al_got_sc) with
+     | Some exp, Some got ->
+       Alcotest.(check string) "expected syscall name" "write" exp.Sc.name;
+       Alcotest.(check (list int64)) "expected args" [ 1L; 42L ] exp.Sc.args;
+       Alcotest.(check string) "offending syscall name" "write" got.Sc.name;
+       Alcotest.(check (list int64)) "offending args" [ 1L; 666L ] got.Sc.args
+     | _ -> Alcotest.fail "alert should carry both syscalls")
+  | `All_finished -> ()
+
+let test_selective_alert_carries_syscalls () =
+  (* Same content guarantee under selective lockstep: the write still
+     locksteps, and the alert names both sides' syscalls. *)
+  let leader = [ work 10.0; wr ~args:[ 1L; 42L ] () ] in
+  let follower = [ work 10.0; wr ~args:[ 1L; 666L ] () ] in
+  let r =
+    Nxe.run_traces ~config:Nxe.selective ~names:(names 2) [ leader; follower ]
+  in
+  check_aborted "selective argument mismatch aborts" r;
+  match r.Nxe.outcome with
+  | `Aborted a ->
+    Alcotest.(check int) "channel id" 0 a.Nxe.al_channel;
+    (match a.Nxe.al_got_sc with
+     | Some got ->
+       Alcotest.(check string) "offending syscall name" "write" got.Sc.name;
+       Alcotest.(check (list int64)) "offending args" [ 1L; 666L ] got.Sc.args
+     | None -> Alcotest.fail "alert should carry the offending syscall")
+  | `All_finished -> ()
+
+let test_sequence_alert_syscall_content () =
+  (* A follower's extra syscall: got is the extra call, expected is
+     end-of-stream (None). *)
+  let leader = [ work 10.0; wr ~args:[ 1L; 5L ] () ] in
+  let follower = [ work 10.0; wr ~args:[ 1L; 5L ] (); rd ~args:[ 3L; 9L ] () ] in
+  let r = Nxe.run_traces ~names:(names 2) [ leader; follower ] in
+  check_aborted "extra follower syscall aborts" r;
+  match r.Nxe.outcome with
+  | `Aborted a ->
+    Alcotest.(check bool) "no expected syscall" true (a.Nxe.al_expected_sc = None);
+    (match a.Nxe.al_got_sc with
+     | Some got ->
+       Alcotest.(check string) "extra syscall name" "read" got.Sc.name;
+       Alcotest.(check (list int64)) "extra syscall args" [ 3L; 9L ] got.Sc.args
+     | None -> Alcotest.fail "alert should carry the extra syscall")
   | `All_finished -> ()
 
 let test_syscall_name_divergence_detected () =
@@ -415,6 +460,10 @@ let () =
       ( "divergence",
         [
           Alcotest.test_case "argument divergence" `Quick test_argument_divergence_detected;
+          Alcotest.test_case "selective alert carries syscalls" `Quick
+            test_selective_alert_carries_syscalls;
+          Alcotest.test_case "sequence alert syscall content" `Quick
+            test_sequence_alert_syscall_content;
           Alcotest.test_case "name divergence" `Quick test_syscall_name_divergence_detected;
           Alcotest.test_case "follower extra syscall" `Quick test_sequence_divergence_follower_extra;
           Alcotest.test_case "leader extra syscall" `Quick test_sequence_divergence_leader_extra;

@@ -164,6 +164,39 @@ let test_ring_truncation () =
     [ "e7"; "e8"; "e9"; "e10" ]
     (List.map (fun e -> e.Tel.ev_name) (Tel.events sink))
 
+let test_recent () =
+  let sink = Tel.create ~capacity:8 () in
+  let d = Tel.domain sink ~name:"t" in
+  let names evs = List.map (fun e -> e.Tel.ev_name) evs in
+  Alcotest.(check (list string)) "empty sink" [] (names (Tel.recent sink 3));
+  for i = 1 to 5 do
+    Tel.instant d ~ts:(float_of_int i) ~cat:"c" (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check (list string)) "last 2" [ "e4"; "e5" ] (names (Tel.recent sink 2));
+  Alcotest.(check (list string)) "n = count" (names (Tel.events sink))
+    (names (Tel.recent sink 5));
+  Alcotest.(check (list string)) "n past count clamps" (names (Tel.events sink))
+    (names (Tel.recent sink 100));
+  Alcotest.(check (list string)) "n = 0" [] (names (Tel.recent sink 0));
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Telemetry.recent: negative window") (fun () ->
+      ignore (Tel.recent sink (-1)))
+
+let test_recent_after_eviction () =
+  (* The window must stay correct once the ring has wrapped: recent n is
+     the tail of what [events] still holds, not of everything emitted. *)
+  let sink = Tel.create ~capacity:4 () in
+  let d = Tel.domain sink ~name:"t" in
+  for i = 1 to 10 do
+    Tel.instant d ~ts:(float_of_int i) ~cat:"c" (Printf.sprintf "e%d" i)
+  done;
+  let names evs = List.map (fun e -> e.Tel.ev_name) evs in
+  Alcotest.(check (list string)) "last 2 of the surviving 4" [ "e9"; "e10" ]
+    (names (Tel.recent sink 2));
+  Alcotest.(check (list string)) "window clamps to survivors"
+    [ "e7"; "e8"; "e9"; "e10" ]
+    (names (Tel.recent sink 9))
+
 let test_bad_capacity () =
   Alcotest.check_raises "capacity 0"
     (Invalid_argument "Telemetry.create: capacity must be positive") (fun () ->
@@ -320,6 +353,8 @@ let () =
         [
           Alcotest.test_case "span nesting" `Quick test_span_nesting;
           Alcotest.test_case "truncation drops oldest" `Quick test_ring_truncation;
+          Alcotest.test_case "recent window" `Quick test_recent;
+          Alcotest.test_case "recent after eviction" `Quick test_recent_after_eviction;
           Alcotest.test_case "bad capacity" `Quick test_bad_capacity;
         ] );
       ( "metrics",
