@@ -47,4 +47,23 @@ echo "$trace_out" | grep -q "trace JSON: valid" || {
 echo "$trace_out" | grep -q "^counter " || {
   echo "trace smoke: --metrics printed no flat metrics"; exit 1; }
 
+# Chaos smoke: a seeded fault injection under the quarantine policy must
+# detect the hung variant via the heartbeat watchdog, keep the survivors
+# running to completion, and file a valid fault-isolation incident.
+echo "== chaos smoke (seeded stall, quarantine policy)"
+chaos_out=$(dune exec bin/bunshin_cli.exe -- chaos --seed 3 -n 3 --policy quarantine)
+echo "$chaos_out"
+echo "$chaos_out" | grep -q "outcome: all finished" || {
+  echo "chaos smoke: survivors did not finish under quarantine"; exit 1; }
+echo "$chaos_out" | grep -q "QUARANTINED at" || {
+  echo "chaos smoke: the stalled variant was not quarantined"; exit 1; }
+chaos_json=$(dune exec bin/bunshin_cli.exe -- chaos --seed 3 -n 3 --policy quarantine --json \
+  | grep '^{')
+echo "$chaos_json" | grep -q '"mismatch":"fault-isolation"' || {
+  echo "chaos smoke: incident JSON missing the fault-isolation classification"; exit 1; }
+# Same seed, fail-stop policy: the identical injection must abort instead.
+chaos_abort=$(dune exec bin/bunshin_cli.exe -- chaos --seed 3 -n 3 --policy abort)
+echo "$chaos_abort" | grep -q "outcome: ABORTED blaming v1" || {
+  echo "chaos smoke: fail-stop policy did not abort on the same seed"; exit 1; }
+
 echo "OK"

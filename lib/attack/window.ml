@@ -53,22 +53,18 @@ let run ~mode ~payload ?(n_malicious = 16) () =
   in
   let r = Nxe.run_traces ~config:mode ~names:[ "leader"; "follower" ] [ leader; follower ] in
   let detected = match r.Nxe.outcome with `Aborted _ -> true | `All_finished -> false in
-  (* Published malicious syscalls = synced - prefix.  A syscall that was
-     still blocked in lockstep when the abort landed never executed: that
-     is every payload syscall position in strict mode, and the first one
-     for a write payload in selective mode. *)
-  let published = max 0 (r.Nxe.synced_syscalls - prefix_syscalls) in
-  let blocked_head =
-    match (mode.Nxe.mode, payload) with
-    | Nxe.Strict_lockstep, _ -> published (* each one waits; none execute *)
-    | Nxe.Selective_lockstep, Writes -> min published 1
-    | Nxe.Selective_lockstep, Reads -> 0
-  in
+  (* The engine counts released slots directly: a payload syscall reached
+     the kernel iff the leader executed it (set it ready for followers),
+     not merely published it.  In strict mode every payload slot is still
+     waiting for the follower's arrival when the abort lands (0 executed);
+     in selective mode lockstep-selected writes also wait (0), while reads
+     run ahead until the abort or the ring fills — so the attack window is
+     the ring capacity, never more. *)
   {
     wr_mode = mode_name mode;
     wr_payload = payload;
     wr_detected = detected;
-    wr_executed = published - blocked_head;
+    wr_executed = max 0 (r.Nxe.executed_syscalls - prefix_syscalls);
   }
 
 let summary () =

@@ -42,6 +42,7 @@ module Profile = Bunshin_profile.Profile
 module Variant = Bunshin_variant.Variant
 module Asap = Bunshin_variant.Asap
 module Nxe = Bunshin_nxe.Nxe
+module Faults = Bunshin_faults.Faults
 module Forensics = Bunshin_forensics.Forensics
 module Ripe = Bunshin_attack.Ripe
 module Cve = Bunshin_attack.Cve

@@ -74,7 +74,7 @@ type vote = Issued of syscall_rec | Exited | Pending
 
 type basis = Majority of int | Tie | Tie_broken_by_detection
 
-type mismatch = Argument_mismatch | Sequence_mismatch | Premature_exit
+type mismatch = Argument_mismatch | Sequence_mismatch | Premature_exit | Fault_isolation
 
 let vote_str = function
   | Issued r -> rec_str r
@@ -227,7 +227,8 @@ let expected_of ~votes ~blamed =
     | Some v -> vote_str votes.(v)
     | None -> "<pending>")
 
-let build ~channel ~position ~flagged ~expected ~got ~time ~votes ~tapes =
+let build ?mismatch_override ~channel ~position ~flagged ~expected ~got ~time ~votes ~tapes
+    () =
   if Array.length votes <> Array.length tapes then
     invalid_arg "Forensics.build: votes/tapes length mismatch";
   if flagged < 0 || flagged >= Array.length votes then
@@ -238,7 +239,8 @@ let build ~channel ~position ~flagged ~expected ~got ~time ~votes ~tapes =
     inc_position = position;
     inc_blamed = blamed;
     inc_basis = basis;
-    inc_mismatch = classify ~votes ~blamed;
+    inc_mismatch =
+      (match mismatch_override with Some m -> m | None -> classify ~votes ~blamed);
     inc_expected = expected;
     inc_got = got;
     inc_time = time;
@@ -375,7 +377,7 @@ let incident_of_runs ?(depth = 16) ?(us_per_kinstr = 10.0) runs =
          (build ~channel:0 ~position:p ~flagged
             ~expected:(expected_of ~votes ~blamed)
             ~got:(vote_str votes.(blamed))
-            ~time ~votes ~tapes))
+            ~time ~votes ~tapes ()))
 
 (* ------------------------------------------------------------------ *)
 (* Text rendering *)
@@ -389,6 +391,7 @@ let mismatch_str = function
   | Argument_mismatch -> "argument mismatch"
   | Sequence_mismatch -> "sequence mismatch"
   | Premature_exit -> "premature exit"
+  | Fault_isolation -> "fault isolation (benign)"
 
 let to_text inc =
   let b = Buffer.create 512 in
@@ -707,6 +710,7 @@ let json_of_mismatch = function
   | Argument_mismatch -> Json.Str "argument"
   | Sequence_mismatch -> Json.Str "sequence"
   | Premature_exit -> Json.Str "premature-exit"
+  | Fault_isolation -> Json.Str "fault-isolation"
 
 let json_of_check_site cs =
   Json.Obj
@@ -803,6 +807,7 @@ let mismatch_of_json = function
   | Json.Str "argument" -> Argument_mismatch
   | Json.Str "sequence" -> Sequence_mismatch
   | Json.Str "premature-exit" -> Premature_exit
+  | Json.Str "fault-isolation" -> Fault_isolation
   | _ -> dfail "unknown mismatch"
 
 let check_site_of_json j =

@@ -82,6 +82,10 @@ type mismatch =
   | Argument_mismatch  (** same syscall, different arguments *)
   | Sequence_mismatch  (** different syscalls at the same position *)
   | Premature_exit     (** one side exited while the other kept issuing *)
+  | Fault_isolation
+      (** not a divergence: the monitor retired the variant after a benign
+          fault (missed heartbeat, benign death) — the incident documents a
+          quarantine, never set by {!classify} *)
 
 val blame : votes:vote array -> flagged:int -> int * basis
 (** Majority vote over the non-[Pending] votes: variants ballot with the
@@ -133,6 +137,7 @@ type incident = {
 }
 
 val build :
+  ?mismatch_override:mismatch ->
   channel:int ->
   position:int ->
   flagged:int ->
@@ -141,8 +146,12 @@ val build :
   time:float ->
   votes:vote array ->
   tapes:syscall_rec list array ->
+  unit ->
   incident
 (** Assemble an incident, running {!blame} and {!classify}.
+    [mismatch_override] replaces the classified mismatch — used for
+    {!Fault_isolation} incidents, whose votes show a benign fault rather
+    than a divergence.
     @raise Invalid_argument if [votes] and [tapes] lengths differ or
     [flagged] is out of range. *)
 

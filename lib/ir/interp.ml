@@ -244,7 +244,11 @@ let mem_access st access v =
         | Read -> Uaf_read (Int64.of_int addr)
         | Write -> Uaf_write (Int64.of_int addr))
    | `Live -> ());
-  (addr, Hashtbl.find st.cells addr)
+  (* A region entry without a backing cell is still a wild access: report
+     it like any other unmapped address instead of leaking [Not_found]. *)
+  match Hashtbl.find_opt st.cells addr with
+  | Some cell -> (addr, cell)
+  | None -> raise (Trap (Crashed (Wild_pointer (Int64.of_int addr))))
 
 let mem_load st v =
   let addr, cell = mem_access st Read v in

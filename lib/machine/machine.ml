@@ -211,6 +211,22 @@ let wake t th =
 let thread_name _t th = th.tname
 let thread_finished _t th = th.state = Finished
 
+(* Forcible termination, the monitor's kill(2): the thread never runs
+   again, its pending events become no-ops, and its finish time is the
+   cancellation time.  Cancelling the currently-running thread is a no-op
+   — a fiber cannot be unwound from inside itself; callers make it observe
+   a flag and return instead. *)
+let cancel t th =
+  match th.state with
+  | Finished -> ()
+  | _ when (match t.current with Some c -> c == th | None -> false) -> ()
+  | _ ->
+    th.state <- Finished;
+    th.finish_time <- t.clock;
+    th.k <- Live (* drop the suspended continuation; it must never resume *)
+
+let cancel_proc t p = List.iter (cancel t) p.proc_threads
+
 (* ------------------------------------------------------------------ *)
 (* Cache model: inflation of compute cost under LLC pressure. *)
 
@@ -437,7 +453,9 @@ let handle_event t = function
        Tel.span_complete tel.t_dom ~tid:ci ~ts:(t.clock -. effective) ~dur:effective
          ~cat:"machine" th.tname
      | None -> ());
-    if th.remaining > 1e-12 then make_ready t th else resume_fiber t th
+    if th.state = Finished then () (* cancelled mid-burst: free the core only *)
+    else if th.remaining > 1e-12 then make_ready t th
+    else resume_fiber t th
 
 let run t =
   let rec loop () =

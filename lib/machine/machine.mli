@@ -80,6 +80,18 @@ val wake : t -> tid -> unit
 val thread_name : t -> tid -> string
 val thread_finished : t -> tid -> bool
 
+val cancel : t -> tid -> unit
+(** Forcibly terminate a thread — the monitor's kill(2).  The thread's
+    state becomes [Finished] at the current time: it never runs again, its
+    pending sleep/burst events are discarded when they fire, and it no
+    longer keeps the simulation alive or contributes to later finish
+    times.  Cancelling an already-finished thread, or the currently
+    running thread, is a no-op (a fiber cannot unwind itself — make it
+    observe a flag and return instead). *)
+
+val cancel_proc : t -> proc -> unit
+(** {!cancel} every thread of the process. *)
+
 (** {1 Running} *)
 
 exception Deadlock of string

@@ -6,8 +6,20 @@ module Program = Bunshin_program.Program
 module Vec = Bunshin_util.Vec
 module Tel = Bunshin_telemetry.Telemetry
 module F = Bunshin_forensics.Forensics
+module Faults = Bunshin_faults.Faults
 
 type mode = Strict_lockstep | Selective_lockstep
+
+type recovery = Abort_on_fault | Quarantine | Restart_once
+
+type fault_policy = {
+  policy : recovery;
+  heartbeat_timeout : float;
+  restart_backoff : float;
+}
+
+let default_policy =
+  { policy = Abort_on_fault; heartbeat_timeout = infinity; restart_backoff = 50.0 }
 
 type config = {
   mode : mode;
@@ -20,6 +32,7 @@ type config = {
   sync_shared_memory : bool;
   recorder_depth : int;
   telemetry : Tel.sink option;
+  fault_policy : fault_policy;
 }
 
 let default_config =
@@ -37,9 +50,16 @@ let default_config =
     sync_shared_memory = true;
     recorder_depth = 16;
     telemetry = None;
+    fault_policy = default_policy;
   }
 
 let selective = { default_config with mode = Selective_lockstep }
+
+(* A hung fiber sleeps this long: practically forever at simulation time
+   scales, but finite so an unmonitored group (no heartbeat watchdog)
+   eventually drains instead of deadlocking — a hang without a monitor is
+   just a very slow variant. *)
+let stall_duration = 1e9
 
 type alert = {
   al_channel : int;
@@ -51,6 +71,13 @@ type alert = {
   al_got_sc : Sc.t option;
 }
 
+type fault_cause = Missed_heartbeat of float | Benign_death
+
+type variant_status =
+  | Healthy
+  | Quarantined of { q_time : float; q_cause : fault_cause; q_restarts : int }
+  | Recovered of { q_time : float; q_cause : fault_cause; r_time : float }
+
 type report = {
   outcome : [ `All_finished | `Aborted of alert ];
   incident : F.incident option;
@@ -58,15 +85,29 @@ type report = {
   variant_finish : float list;
   variant_cpu : float list;
   synced_syscalls : int;
+  executed_syscalls : int;
   lockstep_syscalls : int;
   avg_syscall_gap : float;
   max_syscall_gap : int;
   order_list_length : int;
   det_replays : int;
   channels : int;
+  variant_status : variant_status list;
+  coverage_loss : string list;
+  fault_incidents : F.incident list;
   histograms : (string * (float * int) list) list;
   machine_stats : M.stats;
 }
+
+let quarantined_variants r =
+  List.concat
+    (List.mapi
+       (fun i s -> match s with Quarantined _ -> [ i ] | _ -> [])
+       r.variant_status)
+
+let cause_string = function
+  | Missed_heartbeat silence -> Printf.sprintf "<silent for %.0fus>" silence
+  | Benign_death -> "<benign death>"
 
 (* ------------------------------------------------------------------ *)
 (* Internal state *)
@@ -111,6 +152,9 @@ type tel = {
   t_alerts : Tel.Counter.t;
   t_forks : Tel.Counter.t;
   t_spawns : Tel.Counter.t;
+  t_faults : Tel.Counter.t;
+  t_quarantines : Tel.Counter.t;
+  t_restarts : Tel.Counter.t;
 }
 
 type t = {
@@ -144,13 +188,53 @@ type t = {
   mutable replays : int;
   mutable pending_signals : (float * int) list; (* delivery time, handler idx *)
   signal_handlers : Trace.t array;
+  (* --- fault tolerance --- *)
+  faults : Faults.injection array;
+  f_done : int array; (* applications so far, per injection: latches survive restarts *)
+  sys_ord : int array; (* per variant: ordinal in its synchronized-syscall stream *)
+  v_dead : bool array; (* variant must stop executing ops *)
+  v_quarantined : bool array;
+  v_status : variant_status array;
+  v_restarts : int array;
+  v_parked : int array; (* threads currently parked at an NXE sync point *)
+  live_threads : int array; (* unfinished threads per variant *)
+  last_progress : float array; (* machine time of last NXE interaction *)
+  mutable traces_arr : Trace.t array; (* original traces, kept for restart *)
+  mutable mon_proc : M.proc option;
+  mutable restart_hook : int -> unit; (* set once exec_ops exists *)
+  mutable fault_incidents : F.incident list; (* reverse order *)
+  mutable fault_abort_incident : F.incident option;
+  mutable executed : int; (* slots the leader actually released (s_ready) *)
+  h_heartbeat : Tel.Hist.t; (* watchdog-observed silence per sweep, us *)
 }
 
 let aborted nxe = nxe.failed <> None
 
+(* Heartbeat: any interaction with the engine proves the variant alive. *)
+let touch nxe variant = nxe.last_progress.(variant) <- M.now nxe.machine
+
+(* A thread parked at an NXE sync point is waiting on its peers, not hung:
+   the watchdog must not count its silence against the variant.  All NXE
+   waits are condition loops, so the accounting survives spurious wakes. *)
+let nxe_wait nxe ~variant q =
+  nxe.v_parked.(variant) <- nxe.v_parked.(variant) + 1;
+  M.Waitq.wait nxe.machine q;
+  nxe.v_parked.(variant) <- nxe.v_parked.(variant) - 1
+
 (* Chrome-trace lane for (channel, variant): one track per logical thread
    per variant, so publish/fetch spans line up visually. *)
 let lane nxe chan ~variant = (chan.ch_id * nxe.n) + variant
+
+(* Kick every parked thread so condition loops re-evaluate: used on abort
+   and whenever a quarantine or restart changes who is being waited for. *)
+let broadcast_all nxe =
+  let m = nxe.machine in
+  List.iter
+    (fun ch ->
+      M.Waitq.broadcast m ch.leader_q;
+      Array.iter (M.Waitq.broadcast m) ch.fol_q)
+    nxe.all_chans;
+  List.iter (fun d -> Array.iter (M.Waitq.broadcast m) d.d_qs) nxe.all_dets
 
 let fail nxe alert =
   if nxe.failed = None then begin
@@ -168,13 +252,7 @@ let fail nxe alert =
            ]
          ~ts:(M.now nxe.machine) ~cat:"nxe" "divergence"
      | None -> ());
-    let m = nxe.machine in
-    List.iter
-      (fun ch ->
-        M.Waitq.broadcast m ch.leader_q;
-        Array.iter (M.Waitq.broadcast m) ch.fol_q)
-      nxe.all_chans;
-    List.iter (fun d -> Array.iter (M.Waitq.broadcast m) d.d_qs) nxe.all_dets
+    broadcast_all nxe
   end
 
 let get_chan nxe path =
@@ -276,6 +354,220 @@ let min_live_cursor chan =
 
 let wake_followers nxe chan = Array.iter (M.Waitq.broadcast nxe.machine) chan.fol_q
 
+(* ------------------------------------------------------------------ *)
+(* Fault handling: benign-death / missed-heartbeat verdicts, quarantine,
+   N-1 degradation and optional restart.  A fault is NOT a divergence: the
+   monitor learns about it from waitpid or from silence, never from a
+   mismatching syscall, so it gets its own verdict path and its incidents
+   are stamped [F.Fault_isolation] instead of going through blame voting. *)
+
+let monitor_proc nxe =
+  match nxe.mon_proc with
+  | Some p -> p
+  | None ->
+    (* Zero working set: the monitor must not perturb the cache model. *)
+    let p = M.new_proc nxe.machine ~name:"nxe-monitor" ~working_set:0.0 () in
+    nxe.mon_proc <- Some p;
+    p
+
+(* Blame vote of variant [v] at [pos]: its flight recorder if the entry is
+   still retained, else the slot stream / cursor position. *)
+let vote_at chan ~pos v =
+  match F.Tape.find chan.tapes.(v) ~pos with
+  | Some r -> F.Issued r
+  | None ->
+    let passed = if v = 0 then chan.leader_pos > pos else chan.cursors.(v - 1) > pos in
+    let exited = if v = 0 then chan.leader_done else chan.fol_done.(v - 1) in
+    if passed then
+      if pos < Vec.length chan.slots then begin
+        let sc = (Vec.get chan.slots pos).s_sc in
+        (* Evicted from the tape: the slot stream still knows what was
+           issued there, just not when. *)
+        F.Issued { F.r_pos = pos; r_name = sc.Sc.name; r_args = sc.Sc.args; r_time = 0.0 }
+      end
+      else F.Pending
+    else if exited then F.Exited
+    else F.Pending
+
+let incident_for nxe ~chan ~pos ~flagged ~expected ~got ?mismatch_override ~time () =
+  F.build ?mismatch_override ~channel:chan.ch_id ~position:pos ~flagged ~expected ~got
+    ~time
+    ~votes:(Array.init nxe.n (vote_at chan ~pos))
+    ~tapes:(Array.init nxe.n (fun v -> F.Tape.to_list chan.tapes.(v)))
+    ()
+
+(* Where did the victim go missing?  The first channel (in creation order)
+   where it lags the leader; the root channel as a fallback. *)
+let fault_site nxe variant =
+  let chans = List.rev nxe.all_chans in
+  let lagging c =
+    if variant = 0 then not c.leader_done
+    else (not c.fol_done.(variant - 1)) && c.cursors.(variant - 1) < c.leader_pos
+  in
+  let c = match List.find_opt lagging chans with Some c -> c | None -> List.hd chans in
+  let pos = if variant = 0 then c.leader_pos else c.cursors.(variant - 1) in
+  (c, pos)
+
+let expected_at chan pos =
+  if pos < Vec.length chan.slots then
+    Format.asprintf "%a" Sc.pp (Vec.get chan.slots pos).s_sc
+  else "<heartbeat>"
+
+let cancel_variant nxe variant =
+  Hashtbl.iter
+    (fun (_, v) proc -> if v = variant then M.cancel_proc nxe.machine proc)
+    nxe.proc_reg
+
+let quarantine nxe ~variant ~cause =
+  if not nxe.v_quarantined.(variant) then begin
+    let now = M.now nxe.machine in
+    let chan, pos = fault_site nxe variant in
+    (* Build the incident before retiring the cursors, so the victim's vote
+       reads Pending ("never arrived"), not Exited. *)
+    let inc =
+      incident_for nxe ~chan ~pos ~flagged:variant ~expected:(expected_at chan pos)
+        ~got:(cause_string cause) ~mismatch_override:F.Fault_isolation ~time:now ()
+    in
+    nxe.fault_incidents <- inc :: nxe.fault_incidents;
+    nxe.v_quarantined.(variant) <- true;
+    nxe.v_dead.(variant) <- true;
+    nxe.v_status.(variant) <-
+      Quarantined { q_time = now; q_cause = cause; q_restarts = nxe.v_restarts.(variant) };
+    (* Retire the victim's cursors on every channel: the leader stops
+       waiting for it at lockstep points and the ring's min-live cursor no
+       longer includes it, so the remaining N-1 keep running. *)
+    List.iter (fun c -> c.fol_done.(variant - 1) <- true) nxe.all_chans;
+    cancel_variant nxe variant;
+    nxe.live_threads.(variant) <- 0;
+    nxe.v_parked.(variant) <- 0;
+    (match nxe.tel with
+     | Some tel ->
+       Tel.Counter.incr tel.t_quarantines;
+       Tel.instant tel.t_dom
+         ~args:[ ("variant", string_of_int variant); ("cause", cause_string cause) ]
+         ~ts:now ~cat:"nxe" "quarantine"
+     | None -> ());
+    broadcast_all nxe
+  end
+
+let handle_fault nxe ~variant ~cause =
+  if (not (aborted nxe)) && not nxe.v_quarantined.(variant) then begin
+    let m = nxe.machine in
+    let pol = nxe.cfg.fault_policy in
+    let abort () =
+      let chan, pos = fault_site nxe variant in
+      let expected =
+        match cause with
+        | Missed_heartbeat _ ->
+          Printf.sprintf "<heartbeat within %.0fus>" pol.heartbeat_timeout
+        | Benign_death -> expected_at chan pos
+      in
+      let got = cause_string cause in
+      nxe.fault_abort_incident <-
+        Some
+          (incident_for nxe ~chan ~pos ~flagged:variant ~expected ~got
+             ~mismatch_override:F.Fault_isolation ~time:(M.now m) ());
+      nxe.v_dead.(variant) <- true;
+      fail nxe
+        {
+          al_channel = chan.ch_id;
+          al_position = pos;
+          al_variant = variant;
+          al_expected = expected;
+          al_got = got;
+          al_expected_sc = None;
+          al_got_sc = None;
+        };
+      (* A stalled fiber must not keep the clock running to its far-future
+         wake-up: kill the victim's threads like the monitor would. *)
+      cancel_variant nxe variant
+    in
+    if variant = 0 then
+      (* Leader loss is fatal: followers only replay published slots, so
+         there is no follower promotion (cf. DMON / dMVX, which elect a new
+         leader; here the ring contents ARE the group's only ground truth). *)
+      abort ()
+    else begin
+      match pol.policy with
+      | Abort_on_fault -> abort ()
+      | Quarantine -> quarantine nxe ~variant ~cause
+      | Restart_once ->
+        let first = nxe.v_restarts.(variant) = 0 in
+        quarantine nxe ~variant ~cause;
+        if first then begin
+          nxe.v_restarts.(variant) <- 1;
+          let mon = monitor_proc nxe in
+          ignore
+            (M.spawn m mon
+               ~name:(Printf.sprintf "nxe-monitor:restart-v%d" variant)
+               (fun () ->
+                 M.sleep m pol.restart_backoff;
+                 if not (aborted nxe) then nxe.restart_hook variant))
+        end
+    end
+  end
+
+(* Injections fire at per-variant ordinals of the synchronized-syscall
+   stream, counted across all of the variant's threads in issue order.
+   Latches ([f_done]) survive a restart, so a restarted variant replays its
+   trace without the fault re-firing. *)
+let apply_faults nxe ~variant sc =
+  if Array.length nxe.faults = 0 then sc
+  else begin
+    let ord = nxe.sys_ord.(variant) in
+    nxe.sys_ord.(variant) <- ord + 1;
+    let m = nxe.machine in
+    let injected () =
+      match nxe.tel with
+      | Some tel ->
+        Tel.Counter.incr tel.t_faults;
+        Tel.instant tel.t_dom
+          ~args:[ ("variant", string_of_int variant) ]
+          ~ts:(M.now m) ~cat:"nxe" "fault:injected"
+      | None -> ()
+    in
+    let sc = ref sc in
+    Array.iteri
+      (fun k (inj : Faults.injection) ->
+        if inj.Faults.i_variant = variant && (not (aborted nxe)) && not nxe.v_dead.(variant)
+        then
+          match inj.Faults.i_kind with
+          | Faults.Stall ->
+            if ord >= inj.Faults.i_at && nxe.f_done.(k) = 0 then begin
+              nxe.f_done.(k) <- 1;
+              injected ();
+              M.sleep m stall_duration
+            end
+          | Faults.Die ->
+            if ord >= inj.Faults.i_at && nxe.f_done.(k) = 0 then begin
+              nxe.f_done.(k) <- 1;
+              injected ();
+              nxe.v_dead.(variant) <- true;
+              (* The monitor hears about a death from waitpid, immediately:
+                 no divergence detection is involved. *)
+              handle_fault nxe ~variant ~cause:Benign_death
+            end
+          | Faults.Delay { d_each; d_count } ->
+            if ord >= inj.Faults.i_at && nxe.f_done.(k) < d_count then begin
+              if nxe.f_done.(k) = 0 then injected ();
+              nxe.f_done.(k) <- nxe.f_done.(k) + 1;
+              M.sleep m d_each
+            end
+          | Faults.Corrupt { c_arg; c_delta } ->
+            if ord = inj.Faults.i_at && nxe.f_done.(k) = 0 then begin
+              nxe.f_done.(k) <- 1;
+              injected ();
+              let args =
+                List.mapi
+                  (fun ai a -> if ai = c_arg then Int64.add a c_delta else a)
+                  (!sc).Sc.args
+              in
+              sc := Sc.make ~args (!sc).Sc.name
+            end)
+      nxe.faults;
+    !sc
+  end
+
 let leader_sync nxe chan sc =
   let m = nxe.machine in
   let tid = lane nxe chan ~variant:0 in
@@ -289,6 +581,7 @@ let leader_sync nxe chan sc =
   let pos = chan.leader_pos in
   Vec.push chan.slots { s_sc = sc; s_ready = false; s_arrived = 0 };
   F.Tape.record chan.tapes.(0) ~pos ~time:(M.now m) sc;
+  touch nxe 0;
   chan.leader_pos <- pos + 1;
   nxe.synced <- nxe.synced + 1;
   let gap = pos - min_live_cursor chan in
@@ -311,10 +604,11 @@ let leader_sync nxe chan sc =
       if aborted nxe then ()
       else begin
         (* A follower that already exited can never arrive: sequence
-           divergence (it saw fewer syscalls than the leader). *)
+           divergence (it saw fewer syscalls than the leader).  A
+           quarantined follower is excused — its retirement is benign. *)
         Array.iteri
           (fun i d ->
-            if d && chan.cursors.(i) <= pos then
+            if d && (not nxe.v_quarantined.(i + 1)) && chan.cursors.(i) <= pos then
               fail nxe
                 {
                   al_channel = chan.ch_id;
@@ -328,7 +622,7 @@ let leader_sync nxe chan sc =
           chan.fol_done;
         if (not (aborted nxe)) && slot.s_arrived < live_followers chan then begin
           blocked := true;
-          M.Waitq.wait m chan.leader_q;
+          nxe_wait nxe ~variant:0 chan.leader_q;
           wait_arrivals ()
         end
       end
@@ -339,7 +633,7 @@ let leader_sync nxe chan sc =
     (* Ring buffer: run ahead up to capacity. *)
     while (not (aborted nxe)) && chan.leader_pos - min_live_cursor chan > nxe.cfg.ring_capacity do
       blocked := true;
-      M.Waitq.wait m chan.leader_q
+      nxe_wait nxe ~variant:0 chan.leader_q
     done
   end;
   if !blocked then Tel.Hist.observe nxe.h_wait (M.now m -. wait_from);
@@ -347,6 +641,8 @@ let leader_sync nxe chan sc =
   if not (aborted nxe) then begin
     M.compute m (Sc.base_cost sc);
     slot.s_ready <- true;
+    nxe.executed <- nxe.executed + 1;
+    touch nxe 0;
     (match nxe.tel with
      | Some tel when lockstep ->
        Tel.instant tel.t_dom ~tid ~args:[ ("sc", sc.Sc.name) ] ~ts:(M.now m) ~cat:"nxe"
@@ -366,7 +662,7 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
   let wait_from = M.now m in
   while (not (aborted nxe)) && chan.leader_pos <= pos && not chan.leader_done do
     blocked_for_slot := true;
-    M.Waitq.wait m chan.fol_q.(i)
+    nxe_wait nxe ~variant chan.fol_q.(i)
   done;
   if !blocked_for_slot then Tel.Hist.observe nxe.h_wait (M.now m -. wait_from);
   if !blocked_for_slot && not (aborted nxe) then M.compute m nxe.cfg.resched_cost;
@@ -382,11 +678,12 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
     slot.s_arrived <- slot.s_arrived + 1;
     M.Waitq.signal m chan.leader_q;
     while (not (aborted nxe)) && not slot.s_ready do
-      M.Waitq.wait m chan.fol_q.(i)
+      nxe_wait nxe ~variant chan.fol_q.(i)
     done;
     if not (aborted nxe) then begin
       M.compute m nxe.cfg.fetch_cost;
       chan.cursors.(i) <- pos + 1;
+      touch nxe variant;
       M.Waitq.signal m chan.leader_q;
       (match slot.s_sc.Sc.args with
        | [ idx ] when Int64.to_int idx < Array.length nxe.signal_handlers ->
@@ -435,13 +732,14 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
       let ready_from = M.now m in
       while (not (aborted nxe)) && not slot.s_ready do
         blocked := true;
-        M.Waitq.wait m chan.fol_q.(i)
+        nxe_wait nxe ~variant chan.fol_q.(i)
       done;
       if !blocked then Tel.Hist.observe nxe.h_wait (M.now m -. ready_from);
       if not (aborted nxe) then begin
         M.compute m (if !blocked then nxe.cfg.fetch_cost +. nxe.cfg.resched_cost
                      else nxe.cfg.fetch_cost);
         chan.cursors.(i) <- pos + 1;
+        touch nxe variant;
         M.Waitq.signal m chan.leader_q
       end
     end
@@ -468,7 +766,7 @@ let follower_shared_fetch nxe chan ~variant ~pos dst =
   let wait_from = M.now m in
   while (not (aborted nxe)) && chan.leader_pos <= pos && not chan.leader_done do
     blocked := true;
-    M.Waitq.wait m chan.fol_q.(i)
+    nxe_wait nxe ~variant chan.fol_q.(i)
   done;
   if !blocked then Tel.Hist.observe nxe.h_wait (M.now m -. wait_from);
   if aborted nxe then ()
@@ -506,13 +804,14 @@ let follower_shared_fetch nxe chan ~variant ~pos dst =
       let ready_from = M.now m in
       while (not (aborted nxe)) && not slot.s_ready do
         blocked2 := true;
-        M.Waitq.wait m chan.fol_q.(i)
+        nxe_wait nxe ~variant chan.fol_q.(i)
       done;
       if M.now m > ready_from then Tel.Hist.observe nxe.h_wait (M.now m -. ready_from);
       if not (aborted nxe) then begin
         M.compute m
           (if !blocked2 then nxe.cfg.fetch_cost +. nxe.cfg.resched_cost else nxe.cfg.fetch_cost);
         chan.cursors.(i) <- pos + 1;
+        touch nxe variant;
         M.Waitq.signal m chan.leader_q
       end
     end
@@ -530,6 +829,7 @@ let det_order_op nxe det ~variant ~chan =
     if variant = 0 then begin
       Vec.push det.d_order ltid;
       nxe.order_len <- nxe.order_len + 1;
+      touch nxe 0;
       Array.iter (M.Waitq.broadcast m) det.d_qs
     end
     else begin
@@ -539,11 +839,12 @@ let det_order_op nxe det ~variant ~chan =
         && Vec.get det.d_order det.d_cursors.(i) = ltid
       in
       while (not (aborted nxe)) && not (my_turn ()) do
-        M.Waitq.wait m det.d_qs.(i)
+        nxe_wait nxe ~variant det.d_qs.(i)
       done;
       if not (aborted nxe) then begin
         det.d_cursors.(i) <- det.d_cursors.(i) + 1;
         nxe.replays <- nxe.replays + 1;
+        touch nxe variant;
         (match nxe.tel with
          | Some tel ->
            Tel.Counter.incr tel.t_replays;
@@ -588,7 +889,9 @@ and deliver_due_signals nxe ~chan =
   end
 
 and do_sys nxe ~variant ~chan sc =
-  if variant = 0 then begin
+  let sc = apply_faults nxe ~variant sc in
+  if nxe.v_dead.(variant) || aborted nxe then ()
+  else if variant = 0 then begin
     deliver_due_signals nxe ~chan;
     leader_sync nxe chan sc
   end
@@ -607,7 +910,7 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
   let fork_count = ref 0 in
   List.iter
     (fun op ->
-      if not (aborted nxe) then
+      if (not (aborted nxe)) && not nxe.v_dead.(variant) then
         match op with
         | Trace.Work w -> M.compute m w.cost
         | Trace.Idle d -> M.sleep m d
@@ -668,6 +971,7 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
              Tel.instant tel.t_dom ~tid:(lane nxe chan ~variant)
                ~args:[ ("child", child.ch_path) ] ~ts:(M.now m) ~cat:"nxe" "spawn"
            | None -> ());
+          nxe.live_threads.(variant) <- nxe.live_threads.(variant) + 1;
           ignore
             (M.spawn m proc ~name:(Printf.sprintf "%s:t%s" nxe.names.(variant) child.ch_path)
                (exec_ops nxe ~variant ~chan:child ~ppath ~proc ~pth ~det
@@ -689,12 +993,14 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
            | None -> ());
           let cpth = get_pth nxe cpath variant in
           let cdet = get_det nxe cpath in
+          nxe.live_threads.(variant) <- nxe.live_threads.(variant) + 1;
           ignore
             (M.spawn m cproc ~name:(Printf.sprintf "%s:p%s" nxe.names.(variant) cpath)
                (exec_ops nxe ~variant ~chan:cchan ~ppath:cpath ~proc:cproc ~pth:cpth ~det:cdet
                   ~in_main_init:!in_main sub)))
     ops;
   (* Thread exit: channel end-of-stream bookkeeping. *)
+  touch nxe variant;
   if variant = 0 then begin
     chan.leader_done <- true;
     wake_followers nxe chan
@@ -702,16 +1008,42 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
   else begin
     chan.fol_done.(variant - 1) <- true;
     M.Waitq.signal m chan.leader_q
-  end
+  end;
+  (* Clamped: a quarantine zeroes the count while cancelled fibers never
+     run this epilogue, but the Die victim's own fiber does. *)
+  nxe.live_threads.(variant) <- max 0 (nxe.live_threads.(variant) - 1);
+  if nxe.live_threads.(variant) = 0 && not nxe.v_quarantined.(variant) then
+    match nxe.v_status.(variant) with
+    | Quarantined { q_time; q_cause; _ } ->
+      (* A restarted variant that ran its whole trace again is back in the
+         fold: its checks count toward the union once more. *)
+      nxe.v_status.(variant) <- Recovered { q_time; q_cause; r_time = M.now m }
+    | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Entry points *)
 
 let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_sets
-    ?sensitivities ?(signals = []) ~names traces =
+    ?sensitivities ?(signals = []) ?(faults = Faults.none) ?coverage ~names traces =
   let n = List.length traces in
   if n < 1 then invalid_arg "Nxe.run_traces: need at least one variant";
   if List.length names <> n then invalid_arg "Nxe.run_traces: names/traces length mismatch";
+  let pol = config.fault_policy in
+  if Float.is_nan pol.heartbeat_timeout || pol.heartbeat_timeout <= 0.0 then
+    invalid_arg "Nxe.run_traces: heartbeat_timeout must be positive (infinity = off)";
+  if pol.restart_backoff < 0.0 || not (Float.is_finite pol.restart_backoff) then
+    invalid_arg "Nxe.run_traces: restart_backoff must be non-negative and finite";
+  List.iter
+    (fun (inj : Faults.injection) ->
+      if inj.Faults.i_variant < 0 || inj.Faults.i_variant >= n then
+        invalid_arg "Nxe.run_traces: fault injection victim out of range";
+      if inj.Faults.i_at < 0 then
+        invalid_arg "Nxe.run_traces: fault injection position must be >= 0")
+    faults.Faults.p_injections;
+  (match coverage with
+   | Some cov when List.length cov <> n ->
+     invalid_arg "Nxe.run_traces: coverage length mismatch"
+   | _ -> ());
   List.iter
     (fun (label, c) ->
       if c < 0.0 || not (Float.is_finite c) then
@@ -756,6 +1088,9 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
           t_alerts = Tel.counter sink "nxe.divergence_alerts";
           t_forks = Tel.counter sink "nxe.forks";
           t_spawns = Tel.counter sink "nxe.spawns";
+          t_faults = Tel.counter sink "nxe.faults_injected";
+          t_quarantines = Tel.counter sink "nxe.quarantines";
+          t_restarts = Tel.counter sink "nxe.restarts";
         })
       config.telemetry
   in
@@ -769,10 +1104,16 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
       ~buckets:[ 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 5000. ]
       ()
   in
+  let h_heartbeat =
+    Tel.Hist.create
+      ~buckets:[ 1.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 5000.; 10000. ]
+      ()
+  in
   (match config.telemetry with
    | Some sink ->
      ignore (Tel.register_hist sink "nxe.syscall_gap" h_gap);
-     ignore (Tel.register_hist sink "nxe.lockstep_wait_us" h_wait)
+     ignore (Tel.register_hist sink "nxe.lockstep_wait_us" h_wait);
+     ignore (Tel.register_hist sink "nxe.heartbeat_wait_us" h_heartbeat)
    | None -> ());
   let nxe =
     {
@@ -805,23 +1146,120 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
       pending_signals =
         List.mapi (fun i (t, _) -> (t, i)) (List.sort compare signals);
       signal_handlers = Array.of_list (List.map snd (List.sort compare signals));
+      faults = Array.of_list faults.Faults.p_injections;
+      f_done = Array.make (List.length faults.Faults.p_injections) 0;
+      sys_ord = Array.make n 0;
+      v_dead = Array.make n false;
+      v_quarantined = Array.make n false;
+      v_status = Array.make n Healthy;
+      v_restarts = Array.make n 0;
+      v_parked = Array.make n 0;
+      live_threads = Array.make n 0;
+      last_progress = Array.make n 0.0;
+      traces_arr = [||];
+      mon_proc = None;
+      restart_hook = (fun _ -> ());
+      fault_incidents = [];
+      fault_abort_incident = None;
+      executed = 0;
+      h_heartbeat;
     }
   in
+  nxe.traces_arr <- Array.of_list traces;
   let root_chan = get_chan nxe "c" in
   let root_det = get_det nxe "root" in
+  let has_marker trace =
+    List.exists (function Trace.Marker Trace.Main_entered -> true | _ -> false) trace
+  in
   List.iteri
     (fun variant trace ->
       let proc = get_proc nxe "root" variant in
       let pth = get_pth nxe "root" variant in
-      let has_marker =
-        List.exists (function Trace.Marker Trace.Main_entered -> true | _ -> false) trace
-      in
+      nxe.live_threads.(variant) <- nxe.live_threads.(variant) + 1;
       ignore
         (M.spawn machine proc
            ~name:(Printf.sprintf "%s:main" nxe.names.(variant))
            (exec_ops nxe ~variant ~chan:root_chan ~ppath:"root" ~proc ~pth ~det:root_det
-              ~in_main_init:(not has_marker) trace)))
+              ~in_main_init:(not (has_marker trace)) trace)))
     traces;
+  nxe.restart_hook <-
+    (fun variant ->
+      if (not (aborted nxe)) && nxe.v_quarantined.(variant) then begin
+        (* Rewind the variant and replay its original trace from scratch:
+           channel cursors, weak-determinism replay, private locks and
+           shared counters all reset.  Injection latches persist, so the
+           fault that killed it does not re-fire; retained slots are simply
+           refetched during catch-up (slots are never evicted). *)
+        nxe.v_quarantined.(variant) <- false;
+        nxe.v_dead.(variant) <- false;
+        nxe.sys_ord.(variant) <- 0;
+        nxe.v_parked.(variant) <- 0;
+        List.iter
+          (fun c ->
+            c.cursors.(variant - 1) <- 0;
+            c.fol_done.(variant - 1) <- false)
+          nxe.all_chans;
+        List.iter (fun d -> d.d_cursors.(variant - 1) <- 0) nxe.all_dets;
+        let keys tbl =
+          Hashtbl.fold
+            (fun ((_, v) as key) _ acc -> if v = variant then key :: acc else acc)
+            tbl []
+        in
+        List.iter (Hashtbl.remove nxe.pth_reg) (keys nxe.pth_reg);
+        List.iter (Hashtbl.remove nxe.cnt_reg) (keys nxe.cnt_reg);
+        touch nxe variant;
+        nxe.live_threads.(variant) <- 1;
+        (match nxe.tel with
+         | Some tel ->
+           Tel.Counter.incr tel.t_restarts;
+           Tel.instant tel.t_dom
+             ~args:[ ("variant", string_of_int variant) ]
+             ~ts:(M.now machine) ~cat:"nxe" "restart"
+         | None -> ());
+        let proc = get_proc nxe "root" variant in
+        let pth = get_pth nxe "root" variant in
+        let trace = nxe.traces_arr.(variant) in
+        ignore
+          (M.spawn machine proc
+             ~name:(Printf.sprintf "%s:main:restart" nxe.names.(variant))
+             (exec_ops nxe ~variant ~chan:root_chan ~ppath:"root" ~proc ~pth ~det:root_det
+                ~in_main_init:(not (has_marker trace)) trace));
+        broadcast_all nxe
+      end);
+  (* Heartbeat watchdog: a daemon monitor fiber with zero working set and
+     zero compute, so attaching it never perturbs the group's schedule.  A
+     variant is declared hung when it has unfinished threads, at least one
+     of them is NOT parked at an NXE sync point (parked = waiting on peers,
+     which is the engine's fault, not the variant's), and it has made no
+     engine interaction for a full timeout.  The timeout must therefore
+     exceed the longest legitimate syscall-free stretch of the workload. *)
+  let hb = config.fault_policy.heartbeat_timeout in
+  if Float.is_finite hb then begin
+    let mon = monitor_proc nxe in
+    ignore
+      (M.spawn machine ~daemon:true mon ~name:"nxe-monitor:watchdog" (fun () ->
+           let interval = hb /. 2.0 in
+           while
+             (not (aborted nxe)) && Array.exists (fun c -> c > 0) nxe.live_threads
+           do
+             M.sleep machine interval;
+             if not (aborted nxe) then begin
+               let now = M.now machine in
+               for v = 0 to n - 1 do
+                 if
+                   nxe.live_threads.(v) > 0
+                   && (not nxe.v_quarantined.(v))
+                   && nxe.v_parked.(v) < nxe.live_threads.(v)
+                 then begin
+                   let silence = now -. nxe.last_progress.(v) in
+                   Tel.Hist.observe nxe.h_heartbeat silence;
+                   if silence >= hb then
+                     handle_fault nxe ~variant:v ~cause:(Missed_heartbeat silence)
+                 end
+               done
+             end
+           done))
+  end;
   (match M.run machine with
    | () -> ()
    | exception M.Deadlock msg ->
@@ -844,42 +1282,44 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
   in
   (* Blame attribution: at an abort, every variant's flight recorder (plus
      the slot stream, for entries the bounded tapes already evicted) yields
-     its vote at the divergent slot; the majority names the outlier. *)
+     its vote at the divergent slot; the majority names the outlier.  A
+     fault-driven abort already built its incident at detection time. *)
   let incident =
-    match nxe.failed with
-    | None -> None
-    | Some a -> (
-      match List.find_opt (fun c -> c.ch_id = a.al_channel) nxe.all_chans with
+    match nxe.fault_abort_incident with
+    | Some _ as inc -> inc
+    | None -> (
+      match nxe.failed with
       | None -> None
-      | Some ch ->
-        let pos = a.al_position in
-        let slot_rec () =
-          if pos < Vec.length ch.slots then begin
-            let sc = (Vec.get ch.slots pos).s_sc in
-            (* Evicted from the tape: the slot stream still knows what was
-               issued there, just not when. *)
-            Some { F.r_pos = pos; r_name = sc.Sc.name; r_args = sc.Sc.args; r_time = 0.0 }
-          end
-          else None
-        in
-        let vote_of v =
-          match F.Tape.find ch.tapes.(v) ~pos with
-          | Some r -> F.Issued r
-          | None ->
-            let passed =
-              if v = 0 then ch.leader_pos > pos else ch.cursors.(v - 1) > pos
-            in
-            let exited = if v = 0 then ch.leader_done else ch.fol_done.(v - 1) in
-            if passed then
-              match slot_rec () with Some r -> F.Issued r | None -> F.Pending
-            else if exited then F.Exited
-            else F.Pending
-        in
-        Some
-          (F.build ~channel:a.al_channel ~position:pos ~flagged:a.al_variant
-             ~expected:a.al_expected ~got:a.al_got ~time:nxe.failed_at
-             ~votes:(Array.init n vote_of)
-             ~tapes:(Array.init n (fun v -> F.Tape.to_list ch.tapes.(v)))))
+      | Some a -> (
+        match List.find_opt (fun c -> c.ch_id = a.al_channel) nxe.all_chans with
+        | None -> None
+        | Some ch ->
+          Some
+            (incident_for nxe ~chan:ch ~pos:a.al_position ~flagged:a.al_variant
+               ~expected:a.al_expected ~got:a.al_got ~time:nxe.failed_at ())))
+  in
+  (* Coverage loss (union-of-checks accounting): a check label is lost when
+     every variant carrying it is quarantined — the surviving N-1 variants'
+     union no longer contains it.  Recovered variants count as carrying. *)
+  let coverage_loss =
+    match coverage with
+    | None -> []
+    | Some cov ->
+      let live_labels =
+        List.sort_uniq compare
+          (List.concat
+             (List.mapi
+                (fun v labels -> if nxe.v_quarantined.(v) then [] else labels)
+                cov))
+      in
+      List.sort_uniq compare
+        (List.concat
+           (List.mapi
+              (fun v labels ->
+                if nxe.v_quarantined.(v) then
+                  List.filter (fun l -> not (List.mem l live_labels)) labels
+                else [])
+              cov))
   in
   {
     outcome = (match nxe.failed with None -> `All_finished | Some a -> `Aborted a);
@@ -888,6 +1328,7 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
     variant_finish;
     variant_cpu;
     synced_syscalls = nxe.synced;
+    executed_syscalls = nxe.executed;
     lockstep_syscalls = nxe.locksteps;
     avg_syscall_gap =
       (if nxe.gap_count = 0 then 0.0 else nxe.gap_sum /. float_of_int nxe.gap_count);
@@ -895,15 +1336,20 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
     order_list_length = nxe.order_len;
     det_replays = nxe.replays;
     channels = nxe.chan_count;
+    variant_status = Array.to_list nxe.v_status;
+    coverage_loss;
+    fault_incidents = List.rev nxe.fault_incidents;
     histograms =
       [
         ("syscall_gap", Tel.Hist.dump nxe.h_gap);
         ("lockstep_wait_us", Tel.Hist.dump nxe.h_wait);
+        ("heartbeat_wait_us", Tel.Hist.dump nxe.h_heartbeat);
       ];
     machine_stats = M.stats machine;
   }
 
-let run_builds ?config ?machine_config ?on_machine ?(jitter = 0.0) ~seed builds =
+let run_builds ?config ?machine_config ?on_machine ?faults ?coverage ?(jitter = 0.0)
+    ~seed builds =
   (* Per-variant compute skew: diversified binaries (distinct code layout,
      ASLR, different checks) never run cycle-identical.  The skew is
      systematic per (variant, function) — a function whose cache layout is
@@ -936,4 +1382,5 @@ let run_builds ?config ?machine_config ?on_machine ?(jitter = 0.0) ~seed builds 
       (fun i b -> Printf.sprintf "v%d-%s" i b.Program.prog.Program.name)
       builds
   in
-  run_traces ?config ?machine_config ?on_machine ~working_sets ~sensitivities ~names traces
+  run_traces ?config ?machine_config ?on_machine ?faults ?coverage ~working_sets
+    ~sensitivities ~names traces

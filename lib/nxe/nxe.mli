@@ -29,6 +29,42 @@ module M := Bunshin_machine.Machine
 
 type mode = Strict_lockstep | Selective_lockstep
 
+(** What the monitor does about a {e benign} variant fault — a death
+    reported by waitpid or a missed heartbeat.  Argument {e divergences}
+    (including fault-injected corruption) are a security signal and always
+    abort, whatever the policy. *)
+type recovery =
+  | Abort_on_fault  (** fail-stop: any fault tears the whole group down *)
+  | Quarantine
+      (** retire the victim's ring cursors and replay queues and keep the
+          remaining N-1 variants running (graceful degradation; the report
+          accounts the sanitizer coverage lost with it) *)
+  | Restart_once
+      (** quarantine, then after [restart_backoff] respawn the victim from
+          its original trace exactly once; it catches up from the retained
+          slot stream.  A second fault quarantines it permanently. *)
+
+type fault_policy = {
+  policy : recovery;
+  heartbeat_timeout : float;
+      (** µs of engine-visible silence after which a variant that is
+          neither finished nor parked at a sync point is declared hung.
+          [infinity] (the default) disables the watchdog entirely — no
+          monitor fiber is spawned and the schedule is bit-identical to an
+          unmonitored engine.  Must exceed the workload's longest
+          syscall-free stretch, or legitimate computation is misread as a
+          hang.  The leader is subject to the same verdict, but a leader
+          fault always aborts: followers only ever replay published slots,
+          so there is no follower promotion (unlike DMON/dMVX leader
+          election — here the ring contents are the group's only ground
+          truth). *)
+  restart_backoff : float;
+      (** µs between a [Restart_once] quarantine and the respawn *)
+}
+
+val default_policy : fault_policy
+(** [Abort_on_fault], watchdog off, 50 µs backoff. *)
+
 type config = {
   mode : mode;
   ring_capacity : int;      (** slots a leader may run ahead (selective) *)
@@ -58,7 +94,12 @@ type config = {
           also handed to the underlying machine (see
           {!Bunshin_machine.Machine.create}).  [None] (the default) makes
           every instrumentation point a no-op; the {!report} is identical
-          either way. *)
+          either way.  With faults in play the sink additionally sees
+          ["nxe.faults_injected"] / ["nxe.quarantines"] / ["nxe.restarts"]
+          counters and the ["nxe.heartbeat_wait_us"] histogram. *)
+  fault_policy : fault_policy;
+      (** what to do when a variant dies benignly or stops heartbeating
+          (see {!recovery}); {!default_policy} in {!default_config} *)
 }
 (** All [*_cost] fields are in simulated microseconds — the same unit as
     {!M.config} quanta and every time in {!report}. *)
@@ -83,6 +124,25 @@ type alert = {
           when it exited, or diverged on a shared-memory access) *)
 }
 
+type fault_cause =
+  | Missed_heartbeat of float
+      (** observed engine-visible silence, µs, at the watchdog sweep that
+          declared the variant hung *)
+  | Benign_death  (** the variant died outside the synced stream (waitpid) *)
+
+type variant_status =
+  | Healthy
+  | Quarantined of { q_time : float; q_cause : fault_cause; q_restarts : int }
+      (** retired at [q_time] after [q_restarts] restart attempts *)
+  | Recovered of { q_time : float; q_cause : fault_cause; r_time : float }
+      (** quarantined at [q_time], restarted, and finished its full trace
+          again at [r_time] — its checks count toward the union again *)
+
+val cause_string : fault_cause -> string
+(** Short human rendering, e.g. ["<silent for 119us>"] or
+    ["<benign death>"] — also the ["got"] side of the fault's
+    flight-recorder incident. *)
+
 type report = {
   outcome : [ `All_finished | `Aborted of alert ];
   incident : Bunshin_forensics.Forensics.incident option;
@@ -95,23 +155,46 @@ type report = {
   total_time : float;           (** machine time until the last variant exits *)
   variant_finish : float list;  (** per-variant finish times *)
   variant_cpu : float list;     (** per-variant CPU consumed (incl. sync work) *)
-  synced_syscalls : int;        (** syscalls that went through a channel *)
-  lockstep_syscalls : int;      (** of those, how many locksteped *)
+  synced_syscalls : int;        (** syscalls the leader published to a channel *)
+  executed_syscalls : int;
+      (** of the published, how many the leader actually {e executed}
+          (released to followers).  The difference is the in-flight window
+          at the end of the run: slots published but still blocked on ring
+          capacity or lockstep arrival when the run ended.  This is the
+          number attack-window accounting must use — a payload syscall that
+          was published but never released did not reach the kernel. *)
+  lockstep_syscalls : int;      (** of those published, how many locksteped *)
   avg_syscall_gap : float;      (** mean leader-to-slowest-follower distance,
                                     sampled at each leader publish (§5.3) *)
   max_syscall_gap : int;
   order_list_length : int;      (** weak-determinism operations recorded *)
   det_replays : int;            (** follower lock-order replays performed *)
   channels : int;               (** syscall channels (execution-group streams) *)
+  variant_status : variant_status list;
+      (** per-variant fault verdict; all [Healthy] in a fault-free run *)
+  coverage_loss : string list;
+      (** sanitizer-check labels no longer present in the surviving
+          variants' union: a label from the [coverage] argument is lost
+          when every variant carrying it ended the run quarantined.
+          Empty without quarantines (or when [coverage] was not given). *)
+  fault_incidents : Bunshin_forensics.Forensics.incident list;
+      (** one [Fault_isolation] incident per quarantine, in detection
+          order: the victim's flight-recorder tape and Pending vote at the
+          slot where it went missing.  Unlike {!report.incident} these are
+          benign — the group kept running. *)
   histograms : (string * (float * int) list) list;
       (** always-on distributions, in the [(upper_bound, count)] shape of
           {!Bunshin_util.Stats.histogram}: ["syscall_gap"] (leader
-          run-ahead distance in slots, sampled at each leader publish) and
+          run-ahead distance in slots, sampled at each leader publish),
           ["lockstep_wait_us"] (time a party spent blocked at a sync
-          point, µs).  Collected whether or not [config.telemetry] is
-          set. *)
+          point, µs) and ["heartbeat_wait_us"] (engine-visible silence per
+          watchdog sweep, µs; empty when the watchdog is off).  Collected
+          whether or not [config.telemetry] is set. *)
   machine_stats : M.stats;
 }
+
+val quarantined_variants : report -> int list
+(** Indices still [Quarantined] at the end of the run. *)
 
 val run_traces :
   ?config:config ->
@@ -120,6 +203,8 @@ val run_traces :
   ?working_sets:float list ->
   ?sensitivities:float list ->
   ?signals:(float * Bunshin_program.Trace.t) list ->
+  ?faults:Bunshin_faults.Faults.plan ->
+  ?coverage:string list list ->
   names:string list ->
   Bunshin_program.Trace.t list ->
   report
@@ -130,12 +215,22 @@ val run_traces :
     [signals] are asynchronous deliveries [(time, handler trace)]: the
     leader takes each at its next synchronized syscall and every follower
     runs the handler at the same logical position.
-    @raise Invalid_argument if any [config] cost is negative or non-finite. *)
+    [faults] (default {!Bunshin_faults.Faults.none}) is a deterministic
+    injection plan, applied at per-variant ordinals of the
+    synchronized-syscall stream; what happens to the victim is decided by
+    [config.fault_policy].  [coverage] gives each variant's sanitizer-check
+    labels for the {!report.coverage_loss} account (e.g. from a
+    {!Bunshin_variant.Variant.plan}'s specs).
+    @raise Invalid_argument if any [config] cost is negative or non-finite,
+    if the heartbeat timeout or backoff is invalid, if an injection names a
+    variant out of range, or if [coverage] has the wrong length. *)
 
 val run_builds :
   ?config:config ->
   ?machine_config:M.config ->
   ?on_machine:(M.t -> unit) ->
+  ?faults:Bunshin_faults.Faults.plan ->
+  ?coverage:string list list ->
   ?jitter:float ->
   seed:int ->
   Bunshin_program.Program.build list ->

@@ -10,6 +10,9 @@ let result_of_bins bins =
 
 let makespan r = Array.fold_left Float.max 0.0 r.loads
 
+(* Mean absolute deviation of the bin loads from their average.  The
+   per-bin normalization keeps values comparable across bin counts (a
+   raw sum would grow with n even for equally-balanced results). *)
 let imbalance r =
   let total = Array.fold_left ( +. ) 0.0 r.loads in
   let n = Array.length r.loads in
@@ -17,6 +20,7 @@ let imbalance r =
   else
     let avg = total /. float_of_int n in
     Array.fold_left (fun acc l -> acc +. Float.abs (l -. avg)) 0.0 r.loads
+    /. float_of_int n
 
 let valid items r =
   let key i = (i.label, i.weight) in

@@ -40,7 +40,9 @@ val makespan : result -> float
 (** Max load — the term that bounds N-version end-to-end slowdown. *)
 
 val imbalance : result -> float
-(** Equation 4: sum over bins of |load - total/N|. *)
+(** Equation 4, normalized per bin: (sum over bins of |load - total/N|) / N
+    — the mean absolute deviation of bin loads, comparable across bin
+    counts. *)
 
 val valid : item list -> result -> bool
 (** Every item placed exactly once (multiset equality). *)

@@ -1,6 +1,8 @@
 open Bunshin_ir
 open Ast
 
+exception Error of string
+
 type sink = { sk_func : string; sk_block : Ast.label; sk_handler : string }
 
 let sink_handler_of_block b =
@@ -85,7 +87,18 @@ let remove_in_func ~handler_matches ~sink_filter f =
       | Some l ->
         if (not (is_deleted l)) && not (used_elsewhere r) then begin
           Hashtbl.replace deleted l ();
-          let i = Hashtbl.find loc_instr l in
+          let i =
+            match Hashtbl.find_opt loc_instr l with
+            | Some i -> i
+            | None ->
+              let bl, idx = l in
+              raise
+                (Error
+                   (Printf.sprintf
+                      "Slicer: dangling sliced location %s[%d] in %s (definition of a \
+                       register points at a location with no instruction)"
+                      bl idx f.f_name))
+          in
           List.iter slice (regs_of_values (uses_of_instr i))
         end
     in

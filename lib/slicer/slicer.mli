@@ -15,6 +15,12 @@
 
 open Bunshin_ir
 
+exception Error of string
+(** Raised on malformed input the slicer cannot repair — e.g. a register
+    whose definition site points at a location that holds no instruction
+    (dangling sliced location).  The message names the function, block and
+    instruction index involved. *)
+
 type sink = {
   sk_func : string;
   sk_block : Ast.label;   (** label of the sink block *)

@@ -19,8 +19,17 @@ let copy t = { state = t.state }
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let mask = Int64.of_int max_int in
-  let v = Int64.to_int (Int64.logand (int64 t) mask) in
-  v mod bound
+  (* Rejection sampling: a raw draw is uniform over [0, 2^62).  When
+     [bound] does not divide 2^62 the last partial bucket of
+     (2^62 mod bound) values would bias low residues, so draws landing
+     there are rejected and retried.  Power-of-two bounds never reject. *)
+  let tail = ((max_int mod bound) + 1) mod bound in
+  let limit = max_int - tail in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (int64 t) mask) in
+    if v > limit then draw () else v mod bound
+  in
+  draw ()
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: hi < lo";

@@ -245,7 +245,7 @@ let test_json_roundtrip_extremes () =
   in
   let inc =
     F.build ~channel:2 ~position:3 ~flagged:1 ~expected:"write(1, 1)"
-      ~got:"<exit>" ~time:99.0625 ~votes ~tapes
+      ~got:"<exit>" ~time:99.0625 ~votes ~tapes ()
   in
   (match F.of_json (F.to_json inc) with
    | Ok inc' -> Alcotest.(check bool) "round trip equal" true (inc = inc')

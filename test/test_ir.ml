@@ -1129,3 +1129,51 @@ let () =
       ( "properties",
         qcheck [ prop_diff_random_seeds; prop_diff_random_alloc ] );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Regression: forged absolute pointers.  An integer conjured from thin
+   air and used as a pointer (never returned by the allocator) must trap
+   as [Wild_pointer] in both engines; the reference interpreter's cell
+   lookup used to be an unguarded [Hashtbl.find] that could leak
+   [Not_found] out of [run] instead of producing a crash outcome. *)
+
+let forged_ptr_prog ~write =
+  let b = B.create "forged" in
+  B.start_func b ~name:"main" ~params:[];
+  (* Well past anything next_addr will ever hand out in this program. *)
+  let wild = B.cst64 0x7FF0_0000L in
+  if write then B.store b (B.cst 1) wild else ignore (B.load b wild);
+  B.ret b (Some (B.cst 0));
+  B.finish b
+
+let test_wild_forged_pointer () =
+  List.iter
+    (fun write ->
+      let m = forged_ptr_prog ~write in
+      let pm = Interp.compile m in
+      let check_engine name f =
+        match f () with
+        | r ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s %s traps wild" name
+                 (if write then "store" else "load"))
+              true
+              (match r.Interp.outcome with
+              | Interp.Crashed (Interp.Wild_pointer a) -> a = 0x7FF0_0000L
+              | _ -> false)
+        | exception Not_found ->
+            Alcotest.failf "%s leaked Not_found on a forged pointer" name
+      in
+      check_engine "reference" (fun () ->
+          Interp.run_reference m ~entry:"main" ~args:[]);
+      check_engine "fast" (fun () -> Interp.run_compiled pm ~entry:"main" ~args:[]);
+      (* And the two engines must agree on the whole run record. *)
+      assert_differential "forged pointer" m [ [] ])
+    [ false; true ]
+
+let () =
+  Alcotest.run ~and_exit:false "bunshin_ir_regressions"
+    [
+      ( "wild-pointer",
+        [ Alcotest.test_case "forged absolute pointer" `Quick test_wild_forged_pointer ] );
+    ]

@@ -152,6 +152,86 @@ let test_wake_before_park_not_lost () =
   M.run m;
   Alcotest.(check bool) "finished" true (M.thread_finished m target)
 
+(* ------------------------------------------------------------------ *)
+(* Forcible termination — the monitor's kill(2). *)
+
+let test_cancel_parked_thread () =
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  let victim = M.spawn m p ~name:"victim" (fun () -> M.park m) in
+  ignore
+    (M.spawn m p ~name:"monitor" (fun () ->
+         M.compute m 30.0;
+         M.cancel m victim;
+         (* Cancelling an already-finished thread is a no-op. *)
+         M.cancel m victim));
+  (* Without the cancel this run deadlocks on the parked victim. *)
+  M.run m;
+  Alcotest.(check bool) "victim finished" true (M.thread_finished m victim);
+  check_time "ends at cancel time" 30.0 (M.stats m).M.total_time
+
+let test_cancel_discards_pending_events () =
+  (* A thread mid-CPU-burst and one mid-sleep both have events queued in
+     the heap; cancellation must turn those into no-ops (the Burst_end
+     only frees its core) and neither fiber may ever resume. *)
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  let resumed = ref false in
+  let burst =
+    M.spawn m p ~name:"burst" (fun () ->
+        M.compute m 1000.0;
+        resumed := true)
+  in
+  let sleeper =
+    M.spawn m p ~name:"sleeper" (fun () ->
+        M.sleep m 1000.0;
+        resumed := true)
+  in
+  ignore
+    (M.spawn m p ~name:"monitor" (fun () ->
+         M.compute m 10.5;
+         M.cancel m burst;
+         M.cancel m sleeper));
+  M.run m;
+  Alcotest.(check bool) "no fiber resumed" false !resumed;
+  Alcotest.(check bool) "both finished" true
+    (M.thread_finished m burst && M.thread_finished m sleeper);
+  check_time "ends at cancel, not at burst/sleep end" 10.5 (M.stats m).M.total_time
+
+let test_cancel_self_is_noop () =
+  (* A fiber cannot be unwound from inside itself: self-cancel must leave
+     it running (callers make it observe a flag instead). *)
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  let finished_body = ref false in
+  let t = ref None in
+  let th =
+    M.spawn m p ~name:"self" (fun () ->
+        M.compute m 5.0;
+        M.cancel m (Option.get !t);
+        M.compute m 5.0;
+        finished_body := true)
+  in
+  t := Some th;
+  M.run m;
+  Alcotest.(check bool) "body ran to completion" true !finished_body;
+  check_time "full compute" 10.0 (M.stats m).M.total_time
+
+let test_cancel_proc_kills_all_threads () =
+  let m = M.create ~config:(cfg ()) () in
+  let pa = M.new_proc m ~name:"victim-proc" ~working_set:1.0 () in
+  let pb = M.new_proc m ~name:"monitor-proc" ~working_set:1.0 () in
+  let v1 = M.spawn m pa ~name:"v1" (fun () -> M.park m) in
+  let v2 = M.spawn m pa ~name:"v2" (fun () -> M.sleep m 500.0) in
+  ignore
+    (M.spawn m pb ~name:"monitor" (fun () ->
+         M.compute m 20.0;
+         M.cancel_proc m pa));
+  M.run m;
+  Alcotest.(check bool) "all victim threads finished" true
+    (M.thread_finished m v1 && M.thread_finished m v2);
+  check_time "ends at cancel" 20.0 (M.stats m).M.total_time
+
 let test_deadlock_detection () =
   let m = M.create ~config:(cfg ()) () in
   let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
@@ -354,6 +434,10 @@ let () =
         [
           Alcotest.test_case "park/wake" `Quick test_park_wake;
           Alcotest.test_case "wake before park" `Quick test_wake_before_park_not_lost;
+          Alcotest.test_case "cancel parked" `Quick test_cancel_parked_thread;
+          Alcotest.test_case "cancel discards events" `Quick test_cancel_discards_pending_events;
+          Alcotest.test_case "cancel self no-op" `Quick test_cancel_self_is_noop;
+          Alcotest.test_case "cancel proc" `Quick test_cancel_proc_kills_all_threads;
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
           Alcotest.test_case "daemon exit" `Quick test_daemon_does_not_block_exit;
           Alcotest.test_case "daemon contention" `Quick test_daemon_contends_for_cores;

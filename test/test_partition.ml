@@ -68,6 +68,27 @@ let test_imbalance_zero_when_even () =
   let r = P.best 2 items in
   Alcotest.(check (float 1e-9)) "balanced" 0.0 (P.imbalance r)
 
+(* Regression: [imbalance] is the MEAN absolute deviation of bin loads.
+   It used to return the raw deviation sum, which grows with the bin
+   count even for equally-shaped splits and made values incomparable
+   across bin counts (the bench table leaned on that comparison). *)
+let test_imbalance_is_mean_absolute_deviation () =
+  let mk loads =
+    {
+      P.bins = Array.of_list (List.map (fun w -> [ { P.label = "u"; weight = w } ]) loads);
+      P.loads = Array.of_list loads;
+    }
+  in
+  (* loads 1,3,8: avg 4, |dev| sum = 3 + 1 + 4 = 8, normalized by n = 3. *)
+  Alcotest.(check (float 1e-9)) "mad/n" (8.0 /. 3.0) (P.imbalance (mk [ 1.0; 3.0; 8.0 ]));
+  (* Same skew shape replicated across twice the bins: identical value.
+     The old raw sum gave 10 vs 20 here. *)
+  Alcotest.(check (float 1e-9))
+    "comparable across bin counts"
+    (P.imbalance (mk [ 0.0; 10.0 ]))
+    (P.imbalance (mk [ 0.0; 10.0; 0.0; 10.0 ]));
+  Alcotest.(check (float 1e-9)) "no bins" 0.0 (P.imbalance (mk []))
+
 let test_empty_items () =
   let r = P.best 3 [] in
   Alcotest.(check bool) "valid" true (P.valid [] r);
@@ -148,6 +169,7 @@ let () =
           Alcotest.test_case "exact guard" `Quick test_exact_guard;
           Alcotest.test_case "best <= lpt" `Quick test_best_never_worse_than_lpt;
           Alcotest.test_case "imbalance zero" `Quick test_imbalance_zero_when_even;
+          Alcotest.test_case "imbalance is MAD" `Quick test_imbalance_is_mean_absolute_deviation;
           Alcotest.test_case "empty items" `Quick test_empty_items;
           Alcotest.test_case "single bin" `Quick test_single_bin;
           Alcotest.test_case "more bins than items" `Quick test_more_bins_than_items;

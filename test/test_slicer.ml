@@ -290,6 +290,110 @@ let prop_generated_sink_counts =
       List.length (Slicer.discover inst) = expected)
 
 (* ------------------------------------------------------------------ *)
+(* Regression: the backward slice used to resolve instruction locations
+   with an unguarded [Hashtbl.find], so a malformed module could escape
+   [remove_checks] as a bare [Not_found].  The contract now is: removal
+   either succeeds or raises the descriptive [Slicer.Error] — never a
+   stray [Not_found].  Exercise it on hand-built adversarial shapes the
+   Builder would never produce. *)
+
+let ablk label instrs term = { Ast.b_label = label; b_instrs = instrs; b_term = term }
+let afunc name params blocks = { Ast.f_name = name; f_params = params; f_blocks = blocks }
+let amodul name funcs = { Ast.m_name = name; m_globals = []; m_funcs = funcs }
+
+let sink_block label =
+  ablk label [ Ast.Call (None, "__asan_report_load", []) ] Ast.Unreachable
+
+(* One sink guarded by two CondBrs on the SAME condition register: the
+   slice must wait for the second guard before deleting the chain. *)
+let adv_shared_condition () =
+  amodul "adv_shared"
+    [
+      afunc "f" [ "p" ]
+        [
+          ablk "entry"
+            [
+              Ast.Bin ("a", Ast.Add, Ast.Reg "p", Ast.Int 1L);
+              Ast.Cmp ("c", Ast.Slt, Ast.Reg "a", Ast.Int 100L);
+            ]
+            (Ast.CondBr (Ast.Reg "c", "ok1", "bad"));
+          ablk "ok1" [] (Ast.CondBr (Ast.Reg "c", "ok2", "bad"));
+          ablk "ok2" [] (Ast.Ret None);
+          sink_block "bad";
+        ];
+    ]
+
+(* Duplicate block labels: the location index (label, idx) collides, so
+   definition lookups can disagree with the instruction table. *)
+let adv_duplicate_labels () =
+  amodul "adv_dup"
+    [
+      afunc "f" [ "p" ]
+        [
+          ablk "dup"
+            [
+              Ast.Bin ("x", Ast.Add, Ast.Reg "p", Ast.Int 1L);
+              Ast.Cmp ("c", Ast.Slt, Ast.Reg "x", Ast.Int 9L);
+            ]
+            (Ast.CondBr (Ast.Reg "c", "dup", "bad"));
+          ablk "dup" [ Ast.Bin ("y", Ast.Add, Ast.Int 1L, Ast.Int 2L) ] (Ast.Ret None);
+          sink_block "bad";
+        ];
+    ]
+
+(* The condition register is redefined: def_loc keeps only the last
+   definition. *)
+let adv_redefined_condition () =
+  amodul "adv_redef"
+    [
+      afunc "f" [ "p" ]
+        [
+          ablk "entry"
+            [
+              Ast.Cmp ("c", Ast.Slt, Ast.Reg "p", Ast.Int 1L);
+              Ast.Cmp ("c", Ast.Slt, Ast.Reg "p", Ast.Int 2L);
+            ]
+            (Ast.CondBr (Ast.Reg "c", "ok", "bad"));
+          ablk "ok" [] (Ast.Ret None);
+          sink_block "bad";
+        ];
+    ]
+
+(* The condition is a bare parameter (no defining instruction at all). *)
+let adv_param_condition () =
+  amodul "adv_param"
+    [
+      afunc "f" [ "c" ]
+        [
+          ablk "entry" [] (Ast.CondBr (Ast.Reg "c", "ok", "bad"));
+          ablk "ok" [] (Ast.Ret None);
+          sink_block "bad";
+        ];
+    ]
+
+let test_remove_never_leaks_not_found () =
+  List.iter
+    (fun (name, m) ->
+      match Slicer.remove_checks m with
+      | removed ->
+          Alcotest.(check int)
+            (name ^ ": all sinks gone")
+            0
+            (List.length (Slicer.discover removed))
+      | exception Slicer.Error msg ->
+          (* Acceptable: a descriptive refusal, not a bare Not_found. *)
+          Alcotest.(check bool) (name ^ ": error is descriptive") true
+            (String.length msg > 0)
+      | exception Not_found ->
+          Alcotest.failf "%s: remove_checks leaked Not_found" name)
+    [
+      ("shared condition", adv_shared_condition ());
+      ("duplicate labels", adv_duplicate_labels ());
+      ("redefined condition", adv_redefined_condition ());
+      ("param condition", adv_param_condition ());
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let prop_remove_after_instrument_is_identity_on_behavior =
@@ -344,6 +448,7 @@ let () =
           Alcotest.test_case "by handler" `Quick test_remove_by_handler;
           Alcotest.test_case "idempotent" `Quick test_remove_idempotent;
           Alcotest.test_case "union covers" `Quick test_check_distribution_union_covers;
+          Alcotest.test_case "never leaks Not_found" `Quick test_remove_never_leaks_not_found;
         ] );
       ( "properties",
         qcheck

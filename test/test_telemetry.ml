@@ -327,8 +327,8 @@ let test_report_histograms_always_on () =
     Experiments.nxe_run ~seed:Experiments.ref_seed
       [ Program.baseline bench.Bench.prog; Program.baseline bench.Bench.prog ]
   in
-  Alcotest.(check (list string)) "both histograms present"
-    [ "syscall_gap"; "lockstep_wait_us" ]
+  Alcotest.(check (list string)) "all histograms present"
+    [ "syscall_gap"; "lockstep_wait_us"; "heartbeat_wait_us" ]
     (List.map fst bare.Nxe.histograms);
   let total h = List.fold_left (fun a (_, c) -> a + c) 0 h in
   Alcotest.(check bool) "gap samples recorded" true

@@ -83,6 +83,38 @@ let test_rng_uniformity () =
       Alcotest.(check bool) "bucket near 0.1" true (frac > 0.07 && frac < 0.13))
     buckets
 
+let test_rng_no_modulo_bias () =
+  (* Regression: [Rng.int] used a raw [v mod bound] over the 62-bit draw.
+     For bound = 3 * 2^60 the partial bucket [0, 2^60) then receives twice
+     the mass: P(v < 2^60) = 0.5 instead of 1/3.  Rejection sampling makes
+     it uniform; 10k draws put the biased estimator ~25 sigma away, so this
+     cannot pass by luck with the old code. *)
+  let bound = 3 * 0x1000000000000000 (* 3 * 2^60 *) in
+  let cut = 0x1000000000000000 in
+  let t = Rng.create 21 in
+  let n = 10_000 in
+  let low = ref 0 in
+  for _ = 1 to n do
+    let v = Rng.int t bound in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < bound);
+    if v < cut then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "low third near 1/3 (got %.3f)" frac)
+    true
+    (frac > 0.30 && frac < 0.37)
+
+let test_rng_power_of_two_stream_unchanged () =
+  (* Power-of-two bounds never reject, so they must draw exactly one raw
+     value per call — the historical streams (ASLR pads etc.) are stable. *)
+  let a = Rng.create 33 and b = Rng.create 33 in
+  for _ = 1 to 100 do
+    let x = Rng.int a 16 in
+    let raw = Int64.to_int (Int64.logand (Rng.int64 b) (Int64.of_int max_int)) in
+    Alcotest.(check int) "one raw draw per call" (raw mod 16) x
+  done
+
 let test_rng_gaussian_moments () =
   let t = Rng.create 13 in
   let xs = List.init 20000 (fun _ -> Rng.gaussian t ~mean:5.0 ~stddev:2.0) in
@@ -305,6 +337,9 @@ let () =
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
           Alcotest.test_case "copy preserves state" `Quick test_rng_copy_preserves_state;
           Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "no modulo bias" `Quick test_rng_no_modulo_bias;
+          Alcotest.test_case "pow2 stream unchanged" `Quick
+            test_rng_power_of_two_stream_unchanged;
           Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
           Alcotest.test_case "pareto bounds" `Quick test_rng_pareto_bounds;
