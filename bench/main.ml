@@ -851,7 +851,10 @@ let interp_measure ~batches ~runs run1 =
   done;
   { im_ns_per_step = !best *. 1e9; im_steps_per_s = 1.0 /. !best }
 
-let interp_section () =
+(* Returns the versioned perf-gate JSON (Gate.emit_json) without touching
+   the baseline file — `diff' mode needs a fresh in-memory run to compare
+   against the baseline it has already loaded. *)
+let interp_data () =
   section "Interpreter fast path: precompiled engine vs reference oracle";
   let quick = !quick_mode in
   let n = if quick then 2_000 else 50_000 in
@@ -901,22 +904,202 @@ let interp_section () =
       kernels
   in
   Table.print t;
-  let oc = open_out "BENCH_interp.json" in
-  Printf.fprintf oc "{\n  \"quick\": %b,\n  \"suites\": [\n" quick;
-  let last = List.length results - 1 in
-  List.iteri
-    (fun idx (name, steps, f, r, speedup) ->
-      Printf.fprintf oc
-        "    {\"name\": \"%s\", \"steps_per_run\": %d, \"fast_ns_per_step\": %.2f, \
-         \"fast_steps_per_s\": %.0f, \"reference_ns_per_step\": %.2f, \
-         \"reference_steps_per_s\": %.0f, \"speedup\": %.2f}%s\n"
-        name steps f.im_ns_per_step f.im_steps_per_s r.im_ns_per_step r.im_steps_per_s
-        speedup
-        (if idx = last then "" else ","))
-    results;
-  Printf.fprintf oc "  ]\n}\n";
+  let suites =
+    List.map
+      (fun (name, steps, f, r, speedup) ->
+        ( name,
+          [
+            ("steps_per_run", float_of_int steps);
+            ("fast_ns_per_step", f.im_ns_per_step);
+            ("fast_steps_per_s", f.im_steps_per_s);
+            ("reference_ns_per_step", r.im_ns_per_step);
+            ("reference_steps_per_s", r.im_steps_per_s);
+            ("speedup", speedup);
+          ] ))
+      results
+  in
+  Gate.emit_json ~section:"interp" ~quick suites
+
+let write_bench_json file doc =
+  let oc = open_out file in
+  output_string oc doc;
+  output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote BENCH_interp.json\n"
+  Printf.printf "\nwrote %s\n" file
+
+let interp_section () = write_bench_json "BENCH_interp.json" (interp_data ())
+
+(* ------------------------------------------------------------------ *)
+(* Overhead attribution: the profiler's numbers are pure simulated-machine
+   time, hence deterministic — the perf gate on this section uses tight
+   thresholds and a committed baseline. *)
+
+let profile_data () =
+  section "Overhead attribution: per-phase accounting and straggler analysis";
+  let n = 3 in
+  let oa = E.overhead_attribution ~n (Spec.find "bzip2") in
+  let attr = oa.E.oa_attr in
+  let max_phase_err (a : Profile.attribution) =
+    List.fold_left
+      (fun acc v ->
+        if v.Profile.va_thread_time <= 0.0 then acc
+        else
+          Float.max acc
+            (Float.abs (v.Profile.va_phase_sum -. v.Profile.va_thread_time)
+            /. v.Profile.va_thread_time))
+      0.0 a.Profile.at_variants
+  in
+  let straggler_wait (a : Profile.attribution) =
+    List.fold_left
+      (fun acc v -> acc +. v.Profile.va_straggler_wait)
+      0.0 a.Profile.at_variants
+  in
+  print_string (Profile.attribution_to_text attr);
+  Printf.printf
+    "\nmax-vs-sum: solo overheads max %s sum %s, group %s -> max %s group slowdown\n"
+    (pct oa.E.oa_max_solo) (pct oa.E.oa_sum_solo) (pct oa.E.oa_group_overhead)
+    (if oa.E.oa_max_tracks_group then "tracks" else "DOES NOT track");
+  let server = Server.make Server.Lighttpd ~file_kb:1 ~connections:16 ~requests:40 in
+  let sattr, _ =
+    E.attribution_run ~workload:"lighttpd" ~seed:E.ref_seed
+      (List.init n (fun _ -> Program.baseline server.Bench.prog))
+  in
+  Printf.printf "\nlighttpd: %d sync points over %.0f us, phase error %.4f%%\n"
+    sattr.Profile.at_sync_points sattr.Profile.at_total_time
+    (100.0 *. max_phase_err sattr);
+  Gate.emit_json ~section:"profile" ~quick:!quick_mode
+    [
+      ( "bzip2",
+        [
+          ("total_time_us", attr.Profile.at_total_time);
+          ("sync_points", float_of_int attr.Profile.at_sync_points);
+          ("group_overhead_pct", 100.0 *. oa.E.oa_group_overhead);
+          ("max_solo_pct", 100.0 *. oa.E.oa_max_solo);
+          ("straggler_wait_us", straggler_wait attr);
+          ("phase_err_pct", 100.0 *. max_phase_err attr);
+        ] );
+      ( "lighttpd",
+        [
+          ("total_time_us", sattr.Profile.at_total_time);
+          ("sync_points", float_of_int sattr.Profile.at_sync_points);
+          ("straggler_wait_us", straggler_wait sattr);
+          ("phase_err_pct", 100.0 *. max_phase_err sattr);
+        ] );
+    ]
+
+let profile_section () = write_bench_json "BENCH_profile.json" (profile_data ())
+
+(* ------------------------------------------------------------------ *)
+(* Perf-regression gate: `diff SECTION' re-runs the section in memory and
+   compares it against the committed BENCH_SECTION.json baseline. *)
+
+(* The attribution numbers are simulated time (deterministic), so their
+   gate is tight.  The interpreter numbers are wall-clock on whatever
+   machine runs the gate, so only regenerated-locally baselines make
+   sense there, with tolerances wide enough for scheduler noise; the
+   step counts are deterministic and pinned exactly. *)
+let gate_specs =
+  [
+    ( "interp",
+      interp_data,
+      [
+        Gate.threshold ~tolerance:0.0 "steps_per_run";
+        Gate.threshold ~tolerance:1.0 "fast_ns_per_step";
+        Gate.threshold ~direction:Gate.Higher_is_better ~tolerance:0.6 "speedup";
+      ] );
+    ( "profile",
+      profile_data,
+      [
+        Gate.threshold ~tolerance:0.01 "total_time_us";
+        Gate.threshold ~tolerance:0.0 "sync_points";
+        Gate.threshold ~tolerance:0.05 "group_overhead_pct";
+        Gate.threshold ~tolerance:0.05 "max_solo_pct";
+        Gate.threshold ~tolerance:0.05 "straggler_wait_us";
+        Gate.threshold ~tolerance:0.0 "phase_err_pct";
+      ] );
+  ]
+
+(* Multiply every suite metric in a baseline document by [factor] — the
+   injected-regression self-test (`--scale-baseline 0.8' makes the fresh
+   run look 25% slower than baseline on lower-is-better metrics). *)
+let scale_baseline factor doc =
+  match Forensics.Json.parse doc with
+  | Error e ->
+    Printf.eprintf "diff: cannot scale malformed baseline: %s\n" e;
+    exit 2
+  | Ok j ->
+    let str k = match Forensics.Json.member k j with Some (Forensics.Json.Str s) -> s | _ -> "" in
+    let quick =
+      match Forensics.Json.member "quick" j with Some (Forensics.Json.Bool b) -> b | _ -> false
+    in
+    let suites =
+      match Forensics.Json.member "suites" j with
+      | Some (Forensics.Json.Arr l) ->
+        List.filter_map
+          (function
+            | Forensics.Json.Obj fields ->
+              let name =
+                match List.assoc_opt "name" fields with
+                | Some (Forensics.Json.Str s) -> s
+                | _ -> ""
+              in
+              let metrics =
+                List.filter_map
+                  (function
+                    | k, Forensics.Json.Num v when k <> "name" -> Some (k, v *. factor)
+                    | _ -> None)
+                  fields
+              in
+              Some (name, metrics)
+            | _ -> None)
+          l
+      | _ -> []
+    in
+    Gate.emit_json ~section:(str "section") ~quick suites
+
+let diff_mode args =
+  let rec parse section baseline scale = function
+    | [] -> (section, baseline, scale)
+    | "--baseline" :: file :: rest -> parse section (Some file) scale rest
+    | "--scale-baseline" :: f :: rest -> parse section baseline (float_of_string f) rest
+    | s :: rest when section = None -> parse (Some s) baseline scale rest
+    | s :: _ ->
+      Printf.eprintf "diff: unexpected argument %s\n" s;
+      exit 2
+  in
+  let section, baseline_file, scale = parse None None 1.0 args in
+  let section =
+    match section with
+    | Some s -> s
+    | None ->
+      Printf.eprintf "usage: diff SECTION [--baseline FILE] [--scale-baseline F]\n";
+      exit 2
+  in
+  match List.find_opt (fun (name, _, _) -> name = section) gate_specs with
+  | None ->
+    Printf.eprintf "diff: no perf gate for section %s (gated: %s)\n" section
+      (String.concat ", " (List.map (fun (n, _, _) -> n) gate_specs));
+    exit 2
+  | Some (_, data, thresholds) ->
+    let file = Option.value baseline_file ~default:("BENCH_" ^ section ^ ".json") in
+    (* Load the committed baseline BEFORE re-running the section, so a
+       section that writes its own file can never compare against itself. *)
+    let baseline =
+      try In_channel.with_open_text file In_channel.input_all
+      with Sys_error e ->
+        Printf.eprintf "diff: cannot read baseline %s: %s\n" file e;
+        exit 2
+    in
+    let baseline = if scale = 1.0 then baseline else scale_baseline scale baseline in
+    let fresh = data () in
+    print_newline ();
+    (match Gate.compare_json ~thresholds ~baseline ~fresh with
+     | Error e ->
+       Printf.eprintf "diff: %s\n" e;
+       exit 2
+     | Ok r ->
+       print_string (Gate.result_to_text r);
+       if not (Gate.passed r) then exit 1)
 
 (* ------------------------------------------------------------------ *)
 (* Forensics: the incident report behind every Table 3/4 detection — the
@@ -1087,6 +1270,7 @@ let sections =
     ("faults", faults_section);
     ("bechamel", bechamel_section);
     ("interp", interp_section);
+    ("profile", profile_section);
   ]
 
 let () =
@@ -1103,6 +1287,7 @@ let () =
   in
   match args with
   | [ "list" ] -> List.iter (fun (n, _) -> print_endline n) sections
+  | "diff" :: rest -> diff_mode rest
   | [] ->
     let t0 = Unix.gettimeofday () in
     List.iter (fun (_, f) -> f ()) sections;

@@ -147,7 +147,55 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List modelled benchmarks.") Term.(const run $ const ())
 
 let profile_cmd =
-  let run bench sanitizer save =
+  (* The attribution profiler also accepts the server workload models,
+     which are not Spec benchmarks. *)
+  let profile_bench_arg =
+    let find name =
+      match find_bench name with
+      | Ok b -> Ok b
+      | Error _ as e -> (
+        match name with
+        | "lighttpd" -> Ok (Server.make Server.Lighttpd ~file_kb:1 ~connections:16 ~requests:40)
+        | "nginx" -> Ok (Server.make Server.Nginx ~file_kb:1 ~connections:16 ~requests:40)
+        | _ -> e)
+    in
+    let bconv =
+      Arg.conv ((fun s -> find s), fun fmt b -> Format.fprintf fmt "%s" b.Bench.name)
+    in
+    Arg.(required & pos 0 (some bconv) None
+         & info [] ~docv:"BENCH" ~doc:"Benchmark name (also: lighttpd, nginx).")
+  in
+  let functions_flag =
+    Arg.(value & flag
+         & info [ "functions" ]
+             ~doc:"Legacy per-function overhead profile (Figure 1, steps 1-2) instead of \
+                   the per-phase overhead attribution.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the attribution as JSON.")
+  in
+  let collapsed_flag =
+    Arg.(value & flag
+         & info [ "collapsed" ]
+             ~doc:"Emit collapsed stacks (workload;variant;phase weight) for flamegraph.pl \
+                   or speedscope.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the report to FILE instead of stdout.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Also export a Chrome trace_event JSON of the profiled run.")
+  in
+  let quick_flag =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"Attribution of N identical baseline variants only — skips the \
+                   sanitizer pipeline and the solo overhead runs.")
+  in
+  let legacy bench sanitizer save =
     let prog = bench.Bench.prog in
     let base = Profile.measure (Program.baseline prog) ~seed:Experiments.train_seed in
     let inst = Profile.measure (Program.full [ sanitizer ] prog) ~seed:Experiments.train_seed in
@@ -167,9 +215,72 @@ let profile_cmd =
       (fun i (f, v) -> if i < 10 && v > 0.0 then Printf.printf "  %-20s %10.0f\n" f v)
       top
   in
+  let run bench n config sanitizer save functions json collapsed out trace quick =
+    if functions then legacy bench sanitizer save
+    else begin
+      let config =
+        match trace with
+        | None -> config
+        | Some _ -> { config with Nxe.telemetry = Some (Telemetry.create ()) }
+      in
+      let attr, summary =
+        if quick then begin
+          let builds = List.init n (fun _ -> Program.baseline bench.Bench.prog) in
+          let attr, r =
+            Experiments.attribution_run ~config ~workload:bench.Bench.name
+              ~seed:Experiments.ref_seed builds
+          in
+          (attr, Printf.sprintf "quick attribution: %d identical baseline variants, %.0f us\n"
+                   n r.Nxe.total_time)
+        end
+        else begin
+          let oa = Experiments.overhead_attribution ~n ~config bench in
+          ( oa.Experiments.oa_attr,
+            Printf.sprintf
+              "max-vs-sum: solo overheads max %s sum %s, group %s -> max %s group slowdown\n"
+              (Stats.pct oa.Experiments.oa_max_solo) (Stats.pct oa.Experiments.oa_sum_solo)
+              (Stats.pct oa.Experiments.oa_group_overhead)
+              (if oa.Experiments.oa_max_tracks_group then "tracks" else "DOES NOT track") )
+        end
+      in
+      let body =
+        if json then Profile.attribution_to_json attr
+        else if collapsed then Profile.attribution_collapsed attr
+        else Profile.attribution_to_text attr ^ "\n" ^ summary
+      in
+      (* Exporter self-check before anything touches the file: a truncated
+         or malformed report must fail loudly, not downstream. *)
+      if json then begin
+        match Forensics.Json.parse body with
+        | Ok _ -> Printf.eprintf "profile JSON: valid (%d bytes)\n" (String.length body)
+        | Error e ->
+          Printf.eprintf "profile JSON: INVALID: %s\n" e;
+          exit 1
+      end;
+      (match out with
+       | None ->
+         print_string body;
+         if body <> "" && body.[String.length body - 1] <> '\n' then print_newline ()
+       | Some file ->
+         Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc body);
+         Printf.printf "attribution written to %s\n" file);
+      match (trace, config.Nxe.telemetry) with
+      | Some file, Some sink ->
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc (Telemetry.to_chrome_json sink));
+        Printf.printf "trace written to %s (%d events)\n" file (Telemetry.event_count sink)
+      | _ -> ()
+    end
+  in
   Cmd.v
-    (Cmd.info "profile" ~doc:"Profile a benchmark under a sanitizer (Figure 1, steps 1-2).")
-    Term.(const run $ bench_arg $ sanitizer_arg $ save_arg)
+    (Cmd.info "profile"
+       ~doc:"Overhead attribution: run N variants under the NXE and report each \
+             variant's per-phase time decomposition (compute, sanitizer, publish, \
+             fetch, lockstep wait, ...), the straggler at every sync point, and the \
+             max-vs-sum overhead rule.  --functions selects the legacy per-function \
+             profile that drives check distribution.")
+    Term.(const run $ profile_bench_arg $ n_arg $ lockstep_arg $ sanitizer_arg $ save_arg
+          $ functions_flag $ json_flag $ collapsed_flag $ out_arg $ trace_arg $ quick_flag)
 
 let generate_cmd =
   let run bench n mode sanitizer block_split profile_file =

@@ -25,6 +25,36 @@ dune exec bench/main.exe -- interp --quick
 echo "-- BENCH_interp.json"
 cat BENCH_interp.json
 
+# Perf gates.  The interpreter numbers are wall-clock, so they are gated
+# against the baseline regenerated just above (catches a same-machine
+# regression without tripping on hardware differences).  The attribution
+# numbers are simulated time — deterministic — so they are gated tightly
+# against the committed BENCH_profile.json, and an injected 25% regression
+# (--scale-baseline 0.8) must make the gate exit non-zero.
+echo "== perf gate (bench diff interp --quick)"
+dune exec bench/main.exe -- diff interp --quick
+echo "== perf gate (bench diff profile, committed baseline)"
+dune exec bench/main.exe -- diff profile
+echo "== perf gate self-test (injected regression must fail)"
+if dune exec bench/main.exe -- diff profile --scale-baseline 0.8 >/dev/null 2>&1; then
+  echo "perf gate self-test: injected regression was NOT detected"; exit 1
+fi
+
+# Profiler smoke: the overhead-attribution path end to end — per-phase
+# decomposition sums to each variant's thread time (the report prints the
+# identity check per variant) and the JSON exporter self-validates.
+echo "== profile smoke (attribution --quick)"
+profile_out=$(dune exec bin/bunshin_cli.exe -- profile bzip2 --quick -n 2)
+echo "$profile_out"
+echo "$profile_out" | grep -q "phase sum" || {
+  echo "profile smoke: no phase-sum identity line in the report"; exit 1; }
+echo "$profile_out" | grep -q "straggler at" || {
+  echo "profile smoke: no straggler analysis in the report"; exit 1; }
+profile_json=$(dune exec bin/bunshin_cli.exe -- profile bzip2 --quick -n 2 --json \
+  --out _build/check_attr.json 2>&1)
+echo "$profile_json" | grep -q "profile JSON: valid" || {
+  echo "profile smoke: attribution JSON did not validate"; exit 1; }
+
 # Forensics smoke: one CVE case through the NXE must file a non-empty
 # incident that blames a variant and attributes the firing sanitizer
 # check site — a regression anywhere on the detection -> report path

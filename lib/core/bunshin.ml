@@ -39,6 +39,7 @@ module Partition = Bunshin_partition.Partition
 module Trace = Bunshin_program.Trace
 module Program = Bunshin_program.Program
 module Profile = Bunshin_profile.Profile
+module Gate = Bunshin_profile.Gate
 module Variant = Bunshin_variant.Variant
 module Asap = Bunshin_variant.Asap
 module Nxe = Bunshin_nxe.Nxe

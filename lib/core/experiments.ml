@@ -136,6 +136,74 @@ let check_distribution ?(n = 3) ?(block_split = 1) ?(sanitizer = San.asan) bench
   }
 
 (* ------------------------------------------------------------------ *)
+(* Overhead attribution: where the group's time actually goes, and the
+   max-dominates rule — under the NXE the group's slowdown tracks the
+   slowest variant's solo overhead (lockstep converts skew into wait, not
+   into extra work), never the sum of all variants' overheads. *)
+
+let attribution_run ?(config = Nxe.default_config) ?(machine_config = desktop)
+    ?(workload = "") ~seed builds =
+  let collector = Profile.Collector.create (List.length builds) in
+  if workload <> "" then Profile.Collector.set_workload collector workload;
+  let report =
+    Nxe.run_builds ~config ~machine_config ~profile:collector ~jitter:variant_jitter
+      ~seed builds
+  in
+  (Profile.attribution collector, report)
+
+type overhead_attribution = {
+  oa_workload : string;
+  oa_n : int;
+  oa_attr : Profile.attribution;
+  oa_report : Nxe.report;
+  oa_solo_overheads : float list; (* each variant solo vs clean baseline *)
+  oa_group_overhead : float;      (* the N-variant group vs clean baseline *)
+  oa_max_solo : float;
+  oa_sum_solo : float;
+  oa_max_tracks_group : bool;     (* group closer to max than to sum *)
+}
+
+let overhead_attribution ?(n = 3) ?(config = Nxe.default_config)
+    ?(machine_config = desktop) ?(sanitizer = San.asan) bench =
+  let prog = bench.Bench.prog in
+  (* Same Figure-1 workflow as check_distribution: train-profile, derive
+     the overhead profile, partition checks across n variants. *)
+  let base_build = Program.baseline prog in
+  let full_build = Program.full [ sanitizer ] prog in
+  let base_profile = Profile.measure ~machine_config base_build ~seed:train_seed in
+  let full_profile = Profile.measure ~machine_config full_build ~seed:train_seed in
+  let overhead_profile =
+    Profile.overhead_by_func ~baseline:base_profile ~instrumented:full_profile
+  in
+  let plan = Variant.check_distribution ~n ~sanitizer ~overhead_profile prog in
+  let builds = Variant.builds plan in
+  let solo = solo_time ~machine_config base_build ~seed:ref_seed in
+  let solo_overheads =
+    List.map
+      (fun b ->
+        Stats.overhead ~baseline:solo ~measured:(solo_time ~machine_config b ~seed:ref_seed))
+      builds
+  in
+  let attr, report =
+    attribution_run ~config ~machine_config ~workload:bench.Bench.name ~seed:ref_seed
+      builds
+  in
+  let group = Stats.overhead ~baseline:solo ~measured:report.Nxe.total_time in
+  let max_solo = List.fold_left Float.max 0.0 solo_overheads in
+  let sum_solo = List.fold_left ( +. ) 0.0 solo_overheads in
+  {
+    oa_workload = bench.Bench.name;
+    oa_n = n;
+    oa_attr = attr;
+    oa_report = report;
+    oa_solo_overheads = solo_overheads;
+    oa_group_overhead = group;
+    oa_max_solo = max_solo;
+    oa_sum_solo = sum_solo;
+    oa_max_tracks_group = Float.abs (group -. max_solo) <= Float.abs (group -. sum_solo);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Sanitizer distribution on UBSan (§5.5 / Figure 7). *)
 
 let ubsan_distribution ?(n = 3) bench =

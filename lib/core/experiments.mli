@@ -69,6 +69,41 @@ val check_distribution :
 (** [block_split] > 1 distributes at basic-block granularity (§6), which
     rescues the hmmer/lbm single-hot-function outliers. *)
 
+(** {1 Overhead attribution (the [bunshin profile] engine)} *)
+
+val attribution_run :
+  ?config:Nxe.config ->
+  ?machine_config:Bunshin_machine.Machine.config ->
+  ?workload:string ->
+  seed:int ->
+  Bunshin_program.Program.build list ->
+  Bunshin_profile.Profile.attribution * Nxe.report
+(** Run the builds under the NXE with an attribution collector attached
+    and decode it: per-variant phase decomposition plus the straggler
+    record of every lockstep rendezvous. *)
+
+type overhead_attribution = {
+  oa_workload : string;
+  oa_n : int;
+  oa_attr : Bunshin_profile.Profile.attribution;
+  oa_report : Nxe.report;
+  oa_solo_overheads : float list; (** each variant run solo vs baseline *)
+  oa_group_overhead : float;      (** the N-variant group vs baseline *)
+  oa_max_solo : float;
+  oa_sum_solo : float;
+  oa_max_tracks_group : bool;
+      (** the max-dominates rule: the group's slowdown is closer to the
+          slowest variant's solo overhead than to the sum of all of them *)
+}
+
+val overhead_attribution :
+  ?n:int -> ?config:Nxe.config ->
+  ?machine_config:Bunshin_machine.Machine.config -> ?sanitizer:San.t ->
+  Bench.t -> overhead_attribution
+(** Check-distribute the benchmark over [n] variants (Figure-1 workflow),
+    run the group under the NXE with attribution on, and check the
+    max-vs-sum overhead rule against per-variant solo runs. *)
+
 (** {1 §5.5 — sanitizer distribution on UBSan (Figure 7)} *)
 
 val ubsan_distribution : ?n:int -> Bench.t -> distribution

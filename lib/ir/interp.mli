@@ -78,9 +78,26 @@ type config = {
 
 val default_config : config
 
+(** Step attribution for the overhead profiler: where the run's
+    instructions went, by intrinsic class.  Counts {e accumulate} across
+    runs sharing the record.  Attaching one is pure accounting — outcome,
+    events, timeline, hazards and step count are unchanged, and both
+    engines classify identically (the differential suite runs with one
+    attached). *)
+type phase_counts = {
+  mutable pc_steps : int;    (** instructions retired (the runs' [steps]) *)
+  mutable pc_checks : int;   (** check-helper intrinsic calls *)
+  mutable pc_runtime : int;  (** allocator / report / print runtime calls *)
+  mutable pc_syscalls : int; (** modelled syscalls *)
+}
+
+val phase_counts : unit -> phase_counts
+(** A fresh all-zero record. *)
+
 val run :
   ?config:config ->
   ?telemetry:Bunshin_telemetry.Telemetry.domain ->
+  ?phases:phase_counts ->
   modul ->
   entry:string ->
   args:int64 list ->
@@ -108,6 +125,7 @@ val compile : modul -> Precompile.t
 val run_compiled :
   ?config:config ->
   ?telemetry:Bunshin_telemetry.Telemetry.domain ->
+  ?phases:phase_counts ->
   Precompile.t ->
   entry:string ->
   args:int64 list ->
@@ -119,6 +137,7 @@ val run_compiled :
 val run_reference :
   ?config:config ->
   ?telemetry:Bunshin_telemetry.Telemetry.domain ->
+  ?phases:phase_counts ->
   modul ->
   entry:string ->
   args:int64 list ->

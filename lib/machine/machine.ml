@@ -29,6 +29,21 @@ type state = Ready | Running | Blocked | Sleeping | Finished
 
 type kstate = Not_started | Suspended of (unit, unit) continuation | Live
 
+(* Phase accounting: every thread carries a preallocated bucket array and
+   charges each state interval to exactly one bucket, so the buckets of a
+   finished thread sum to its lifetime by construction.  Slots 0-4 are
+   machine-owned; 5.. are free for clients (the NXE claims them through
+   Profile.Phase).  The accounting is always on: it is pure float
+   arithmetic on the side, it never touches scheduler state, so the
+   schedule is bit-identical with or without anyone reading it. *)
+let phase_slots = 16
+let slot_compute = 0 (* Running, default tag *)
+let slot_queue = 1   (* Ready: runnable but not placed on a core *)
+let slot_idle = 2    (* Sleeping *)
+let slot_sched = 3   (* context-switch cost, reattributed out of the burst *)
+let slot_wait = 4    (* Blocked, default tag *)
+let first_client_slot = 5
+
 type proc = {
   pid : int;
   pname : string;
@@ -49,11 +64,19 @@ and thread = {
   mutable wake_pending : bool;
   mutable finish_time : float;
   mutable cpu : float;
+  (* --- phase accounting --- *)
+  spawn_time : float;
+  mutable p_since : float; (* start of the current state interval *)
+  mutable p_run : int;     (* bucket charged while Running *)
+  mutable p_wait : int;    (* bucket charged while Blocked *)
+  p_acc : float array;     (* phase_slots buckets, us *)
 }
 
 type tid = thread
 
-type event = Burst_end of thread * int * float * float | Wake_at of thread
+(* Burst_end carries the context-switch share of [effective] so the
+   handler can reattribute it from the running bucket to [slot_sched]. *)
+type event = Burst_end of thread * int * float * float * float | Wake_at of thread
 
 type core = { mutable c_last : int; mutable c_busy : bool; mutable c_budget : float }
 
@@ -145,7 +168,26 @@ let new_proc t ?(cache_sensitivity = 1.0) ~name ~working_set () =
 
 let proc_name p = p.pname
 
+(* Close the thread's current state interval: charge it to the bucket its
+   (old) state selects, then restart the interval at the current clock.
+   Must run immediately before every state assignment. *)
+let charge t th =
+  let dt = t.clock -. th.p_since in
+  if dt > 0.0 then begin
+    let slot =
+      match th.state with
+      | Running -> th.p_run
+      | Ready -> slot_queue
+      | Blocked -> th.p_wait
+      | Sleeping -> slot_idle
+      | Finished -> -1
+    in
+    if slot >= 0 then th.p_acc.(slot) <- th.p_acc.(slot) +. dt
+  end;
+  th.p_since <- t.clock
+
 let make_ready t th =
+  charge t th;
   th.state <- Ready;
   Queue.push th t.runq
 
@@ -163,6 +205,11 @@ let spawn t ?(daemon = false) proc ~name body =
       wake_pending = false;
       finish_time = 0.0;
       cpu = 0.0;
+      spawn_time = t.clock;
+      p_since = t.clock;
+      p_run = slot_compute;
+      p_wait = slot_wait;
+      p_acc = Array.make phase_slots 0.0;
     }
   in
   t.next_tid <- t.next_tid + 1;
@@ -197,6 +244,7 @@ let yield t =
 let wake t th =
   match th.state with
   | Blocked ->
+    charge t th;
     th.state <- Ready;
     Queue.push th t.runq;
     (match t.tel with
@@ -221,6 +269,7 @@ let cancel t th =
   | Finished -> ()
   | _ when (match t.current with Some c -> c == th | None -> false) -> ()
   | _ ->
+    charge t th;
     th.state <- Finished;
     th.finish_time <- t.clock;
     th.k <- Live (* drop the suspended continuation; it must never resume *)
@@ -266,6 +315,7 @@ let handler t th =
   {
     retc =
       (fun () ->
+        charge t th;
         th.state <- Finished;
         th.finish_time <- t.clock;
         th.k <- Live);
@@ -283,12 +333,14 @@ let handler t th =
           Some
             (fun (k : (a, unit) continuation) ->
               th.k <- Suspended k;
+              charge t th;
               th.state <- Sleeping;
               Event_heap.push t.heap (t.clock +. d) (Wake_at th))
         | E_park ->
           Some
             (fun (k : (a, unit) continuation) ->
               th.k <- Suspended k;
+              charge t th;
               th.state <- Blocked;
               match t.tel with
               | Some tel ->
@@ -307,6 +359,7 @@ let handler t th =
 let resume_fiber t th =
   let saved = t.current in
   t.current <- Some th;
+  charge t th;
   th.state <- Running;
   (match th.k with
    | Not_started ->
@@ -356,8 +409,9 @@ let start_burst t th ci =
   let mult = multiplier t th in
   let slice = Float.min th.remaining t.cfg.quantum in
   let effective = ctx +. (slice *. mult) in
+  charge t th;
   th.state <- Running;
-  Event_heap.push t.heap (t.clock +. effective) (Burst_end (th, ci, slice, effective))
+  Event_heap.push t.heap (t.clock +. effective) (Burst_end (th, ci, slice, effective, ctx))
 
 let dispatch t =
   (* Each round: walk the current run queue once, resuming zero-cost fibers
@@ -439,13 +493,25 @@ let deadlocked t =
 let handle_event t = function
   | Wake_at th ->
     if th.state = Sleeping then begin
+      charge t th;
       th.state <- Ready;
       Queue.push th t.runq
     end
-  | Burst_end (th, ci, slice, effective) ->
+  | Burst_end (th, ci, slice, effective, ctx) ->
     t.cores.(ci).c_busy <- false;
     th.remaining <- th.remaining -. slice;
     th.cpu <- th.cpu +. effective;
+    (* Charge the whole burst to the running bucket first, then carve the
+       context-switch share out into the scheduler bucket, so a client that
+       reads its buckets right after [compute] returns sees the burst
+       attributed.  A thread cancelled mid-burst was already charged its
+       partial interval at cancellation time; skip the carve-out. *)
+    charge t th;
+    if ctx > 0.0 && th.state = Running then begin
+      let amount = Float.min ctx th.p_acc.(th.p_run) in
+      th.p_acc.(th.p_run) <- th.p_acc.(th.p_run) -. amount;
+      th.p_acc.(slot_sched) <- th.p_acc.(slot_sched) +. amount
+    end;
     (match t.tel with
      | Some tel ->
        (* One complete span per CPU burst, on the core's lane: the trace
@@ -499,6 +565,68 @@ let proc_finish_time _t p =
   List.fold_left
     (fun acc th -> if th.daemon then acc else Float.max acc th.finish_time)
     0.0 p.proc_threads
+
+(* ------------------------------------------------------------------ *)
+(* Phase accounting: client API *)
+
+let check_slot name slot =
+  if slot < 0 || slot >= phase_slots then
+    invalid_arg (Printf.sprintf "Machine.%s: slot %d out of range" name slot)
+
+let set_phase t slot =
+  check_slot "set_phase" slot;
+  let th = current_thread t in
+  charge t th;
+  let prev = th.p_run in
+  th.p_run <- slot;
+  prev
+
+let set_wait_phase t slot =
+  check_slot "set_wait_phase" slot;
+  let th = current_thread t in
+  charge t th;
+  let prev = th.p_wait in
+  th.p_wait <- slot;
+  prev
+
+let reattribute t ?th ~from_ ~to_ amount =
+  check_slot "reattribute" from_;
+  check_slot "reattribute" to_;
+  let th = match th with Some th -> th | None -> current_thread t in
+  if amount > 0.0 && from_ <> to_ then begin
+    (* Clamp: reattribution moves time already charged; it can never drive
+       a bucket negative, so the sum-to-lifetime identity survives a
+       caller overestimating. *)
+    let a = Float.min amount th.p_acc.(from_) in
+    th.p_acc.(from_) <- th.p_acc.(from_) -. a;
+    th.p_acc.(to_) <- th.p_acc.(to_) +. a
+  end
+
+let thread_phase _t th slot =
+  check_slot "thread_phase" slot;
+  th.p_acc.(slot)
+
+let thread_phases _t th = Array.copy th.p_acc
+let thread_spawn_time _t th = th.spawn_time
+
+(* Lifetime covered by the buckets: up to finish for finished threads, up
+   to the last charge point otherwise — so phases always sum to it. *)
+let thread_accounted_time _t th =
+  (if th.state = Finished then th.finish_time else th.p_since) -. th.spawn_time
+
+let proc_phases _t p =
+  let acc = Array.make phase_slots 0.0 in
+  List.iter
+    (fun th -> Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) th.p_acc)
+    p.proc_threads;
+  acc
+
+let proc_phase t p slot =
+  check_slot "proc_phase" slot;
+  (proc_phases t p).(slot)
+
+let proc_accounted_time t p =
+  List.fold_left (fun acc th -> acc +. thread_accounted_time t th) 0.0 p.proc_threads
 
 (* ------------------------------------------------------------------ *)
 (* Waitq *)

@@ -117,6 +117,67 @@ val proc_cpu_time : t -> proc -> float
 val proc_finish_time : t -> proc -> float
 (** Time when the process's last non-daemon thread finished; 0. if none ran. *)
 
+(** {1 Phase accounting}
+
+    Always-on, allocation-free time attribution: every thread carries a
+    preallocated array of {!phase_slots} buckets and each state interval is
+    charged to exactly one bucket — Running time to the thread's current
+    {e run phase} (default {!slot_compute}), Ready time to {!slot_queue},
+    Blocked time to the current {e wait phase} (default {!slot_wait}),
+    Sleeping time to {!slot_idle}; the context-switch share of a burst is
+    reattributed to {!slot_sched}.  By construction a finished thread's
+    buckets sum {e exactly} to its lifetime ({!thread_accounted_time}).
+    The accounting never touches scheduler state, so schedules are
+    bit-identical whether or not anyone reads it. *)
+
+val phase_slots : int
+(** Number of buckets per thread (16). *)
+
+val slot_compute : int (** Running time under the default run phase. *)
+
+val slot_queue : int (** Runnable but waiting for a core. *)
+
+val slot_idle : int (** Sleeping ({!sleep}). *)
+
+val slot_sched : int (** Context-switch cost. *)
+
+val slot_wait : int (** Blocked ({!park}) under the default wait phase. *)
+
+val first_client_slot : int
+(** Slots [first_client_slot .. phase_slots-1] are free for client layers
+    to claim (the NXE claims them via [Profile.Phase]). *)
+
+val set_phase : t -> int -> int
+(** [set_phase t slot] (fiber op): subsequent Running time of the calling
+    thread charges to [slot]; returns the previous run phase so callers
+    can restore it.  @raise Invalid_argument on an out-of-range slot. *)
+
+val set_wait_phase : t -> int -> int
+(** Same for Blocked time. *)
+
+val reattribute : t -> ?th:tid -> from_:int -> to_:int -> float -> unit
+(** Move up to the given amount of already-charged time between two buckets
+    of [th] (default: the calling thread).  Clamped at the source bucket's
+    balance, so buckets never go negative and the sum is preserved. *)
+
+val thread_phase : t -> tid -> int -> float
+val thread_phases : t -> tid -> float array
+(** A copy of the thread's buckets, us. *)
+
+val thread_spawn_time : t -> tid -> float
+
+val thread_accounted_time : t -> tid -> float
+(** Lifetime the buckets cover: spawn to finish for a finished thread,
+    spawn to the last charge point otherwise.  [thread_phases] sums to
+    this exactly. *)
+
+val proc_phase : t -> proc -> int -> float
+val proc_phases : t -> proc -> float array
+(** Bucket-wise sum over the process's threads. *)
+
+val proc_accounted_time : t -> proc -> float
+(** Sum of {!thread_accounted_time} over the process's threads. *)
+
 (** {1 Waiting primitives built on park/wake} *)
 
 module Waitq : sig

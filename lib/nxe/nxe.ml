@@ -7,6 +7,7 @@ module Vec = Bunshin_util.Vec
 module Tel = Bunshin_telemetry.Telemetry
 module F = Bunshin_forensics.Forensics
 module Faults = Bunshin_faults.Faults
+module Pr = Bunshin_profile.Profile
 
 type mode = Strict_lockstep | Selective_lockstep
 
@@ -61,6 +62,21 @@ let selective = { default_config with mode = Selective_lockstep }
    just a very slow variant. *)
 let stall_duration = 1e9
 
+(* Phase tagging for overhead attribution: [Machine.set_phase] /
+   [set_wait_phase] are pure accounting (they pick the bucket future clock
+   time is charged to, never touching burst boundaries or wake order), so
+   tagging stays always-on and the report is bit-identical whether or not
+   a profile collector is attached. *)
+let ph_compute m phase cost =
+  let prev = M.set_phase m (Pr.Phase.slot phase) in
+  M.compute m cost;
+  ignore (M.set_phase m prev)
+
+let pth_wait m f =
+  let prev = M.set_wait_phase m (Pr.Phase.slot Pr.Phase.Pthread_wait) in
+  f ();
+  ignore (M.set_wait_phase m prev)
+
 type alert = {
   al_channel : int;
   al_position : int;
@@ -112,7 +128,18 @@ let cause_string = function
 (* ------------------------------------------------------------------ *)
 (* Internal state *)
 
-type slot = { s_sc : Sc.t; mutable s_ready : bool; mutable s_arrived : int }
+type slot = {
+  s_sc : Sc.t;
+  mutable s_ready : bool;
+  mutable s_arrived : int;
+  (* Straggler tracking (three scalars, not an array: recording a
+     rendezvous must not allocate).  The leader's "arrival" is its publish
+     time; followers stamp the time they entered the sync point, before
+     blocking — so last - first is the group wait the straggler caused. *)
+  mutable s_first_arrival : float;
+  mutable s_last_arrival : float;
+  mutable s_last_variant : int;
+}
 
 (* One syscall channel per logical thread: the per-thread stream of the
    execution group. *)
@@ -206,6 +233,9 @@ type t = {
   mutable fault_abort_incident : F.incident option;
   mutable executed : int; (* slots the leader actually released (s_ready) *)
   h_heartbeat : Tel.Hist.t; (* watchdog-observed silence per sweep, us *)
+  profile : Pr.Collector.t option;
+  (* overhead-attribution collector: straggler records during the run,
+     per-variant phase totals filled at the end *)
 }
 
 let aborted nxe = nxe.failed <> None
@@ -218,8 +248,53 @@ let touch nxe variant = nxe.last_progress.(variant) <- M.now nxe.machine
    waits are condition loops, so the accounting survives spurious wakes. *)
 let nxe_wait nxe ~variant q =
   nxe.v_parked.(variant) <- nxe.v_parked.(variant) + 1;
+  let prev = M.set_wait_phase nxe.machine (Pr.Phase.slot Pr.Phase.Lockstep_wait) in
   M.Waitq.wait nxe.machine q;
+  ignore (M.set_wait_phase nxe.machine prev);
   nxe.v_parked.(variant) <- nxe.v_parked.(variant) - 1
+
+(* Work with the sanitizer share carved out: a single compute call (burst
+   boundaries, and hence the schedule, are exactly those of an untagged
+   run); the variant's check fraction of the measured delta is then moved
+   from Compute to Sanitizer post-hoc. *)
+let do_work nxe ~variant fname cost =
+  let m = nxe.machine in
+  let f =
+    match nxe.profile with
+    | Some c -> Pr.Collector.check_fraction c ~variant fname
+    | None -> 0.0
+  in
+  if f <= 0.0 then M.compute m cost
+  else begin
+    let self = M.self m in
+    let before = M.thread_phase m self M.slot_compute in
+    M.compute m cost;
+    let delta = M.thread_phase m self M.slot_compute -. before in
+    M.reattribute m ~from_:M.slot_compute ~to_:(Pr.Phase.slot Pr.Phase.Sanitizer)
+      (delta *. f)
+  end
+
+(* Follower fetch compute: when the follower blocked, the futex round trip
+   (resched) is bundled into the same compute call so the schedule matches
+   the untagged engine; its share of the measured delta is reattributed. *)
+let fetch_compute nxe ~blocked =
+  let m = nxe.machine in
+  let fc = nxe.cfg.fetch_cost in
+  if not blocked then ph_compute m Pr.Phase.Fetch fc
+  else begin
+    let rc = nxe.cfg.resched_cost in
+    let total = fc +. rc in
+    let self = M.self m in
+    let fslot = Pr.Phase.slot Pr.Phase.Fetch in
+    let prev = M.set_phase m fslot in
+    let before = M.thread_phase m self fslot in
+    M.compute m total;
+    let delta = M.thread_phase m self fslot -. before in
+    ignore (M.set_phase m prev);
+    if rc > 0.0 && total > 0.0 then
+      M.reattribute m ~from_:fslot ~to_:(Pr.Phase.slot Pr.Phase.Resched)
+        (delta *. (rc /. total))
+  end
 
 (* Chrome-trace lane for (channel, variant): one track per logical thread
    per variant, so publish/fetch spans line up visually. *)
@@ -577,9 +652,17 @@ let leader_sync nxe chan sc =
      Tel.span_begin tel.t_dom ~tid ~args:[ ("sc", sc.Sc.name) ] ~ts:(M.now m) ~cat:"nxe"
        "publish"
    | None -> ());
-  M.compute m nxe.cfg.checkin_cost;
+  ph_compute m Pr.Phase.Publish nxe.cfg.checkin_cost;
   let pos = chan.leader_pos in
-  Vec.push chan.slots { s_sc = sc; s_ready = false; s_arrived = 0 };
+  Vec.push chan.slots
+    {
+      s_sc = sc;
+      s_ready = false;
+      s_arrived = 0;
+      s_first_arrival = M.now m;
+      s_last_arrival = M.now m;
+      s_last_variant = 0;
+    };
   F.Tape.record chan.tapes.(0) ~pos ~time:(M.now m) sc;
   touch nxe 0;
   chan.leader_pos <- pos + 1;
@@ -627,7 +710,27 @@ let leader_sync nxe chan sc =
         end
       end
     in
-    wait_arrivals ()
+    wait_arrivals ();
+    (* Rendezvous complete: every live follower has checked in, so the
+       slot's arrival scalars are final — name the straggler. *)
+    if not (aborted nxe) then begin
+      let wait = Float.max 0.0 (slot.s_last_arrival -. slot.s_first_arrival) in
+      (match nxe.profile with
+       | Some c ->
+         Pr.Collector.record c ~chan:chan.ch_id ~pos ~time:(M.now m)
+           ~straggler:slot.s_last_variant ~wait
+       | None -> ());
+      match nxe.tel with
+      | Some tel when wait > 0.0 ->
+        Tel.instant tel.t_dom ~tid
+          ~args:
+            [
+              ("straggler", string_of_int slot.s_last_variant);
+              ("wait_us", Printf.sprintf "%.3f" wait);
+            ]
+          ~ts:(M.now m) ~cat:"nxe" "straggler"
+      | _ -> ()
+    end
   end
   else begin
     (* Ring buffer: run ahead up to capacity. *)
@@ -637,9 +740,9 @@ let leader_sync nxe chan sc =
     done
   end;
   if !blocked then Tel.Hist.observe nxe.h_wait (M.now m -. wait_from);
-  if !blocked && not (aborted nxe) then M.compute m nxe.cfg.resched_cost;
+  if !blocked && not (aborted nxe) then ph_compute m Pr.Phase.Resched nxe.cfg.resched_cost;
   if not (aborted nxe) then begin
-    M.compute m (Sc.base_cost sc);
+    ph_compute m Pr.Phase.Syscall_service (Sc.base_cost sc);
     slot.s_ready <- true;
     nxe.executed <- nxe.executed + 1;
     touch nxe 0;
@@ -665,7 +768,8 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
     nxe_wait nxe ~variant chan.fol_q.(i)
   done;
   if !blocked_for_slot then Tel.Hist.observe nxe.h_wait (M.now m -. wait_from);
-  if !blocked_for_slot && not (aborted nxe) then M.compute m nxe.cfg.resched_cost;
+  if !blocked_for_slot && not (aborted nxe) then
+    ph_compute m Pr.Phase.Resched nxe.cfg.resched_cost;
   if aborted nxe then ()
   else if
     (* An asynchronous signal the leader took at this point: consume the
@@ -681,7 +785,7 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
       nxe_wait nxe ~variant chan.fol_q.(i)
     done;
     if not (aborted nxe) then begin
-      M.compute m nxe.cfg.fetch_cost;
+      ph_compute m Pr.Phase.Fetch nxe.cfg.fetch_cost;
       chan.cursors.(i) <- pos + 1;
       touch nxe variant;
       M.Waitq.signal m chan.leader_q;
@@ -722,6 +826,13 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
         }
     else begin
       slot.s_arrived <- slot.s_arrived + 1;
+      (* Arrival time is when the follower reached the sync point (before
+         any blocking), so straggler attribution reflects who was late. *)
+      if wait_from < slot.s_first_arrival then slot.s_first_arrival <- wait_from;
+      if wait_from >= slot.s_last_arrival then begin
+        slot.s_last_arrival <- wait_from;
+        slot.s_last_variant <- variant
+      end;
       (match nxe.tel with
        | Some tel ->
          Tel.instant tel.t_dom ~tid:(lane nxe chan ~variant)
@@ -736,8 +847,7 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
       done;
       if !blocked then Tel.Hist.observe nxe.h_wait (M.now m -. ready_from);
       if not (aborted nxe) then begin
-        M.compute m (if !blocked then nxe.cfg.fetch_cost +. nxe.cfg.resched_cost
-                     else nxe.cfg.fetch_cost);
+        fetch_compute nxe ~blocked:!blocked;
         chan.cursors.(i) <- pos + 1;
         touch nxe variant;
         M.Waitq.signal m chan.leader_q
@@ -799,6 +909,11 @@ let follower_shared_fetch nxe chan ~variant ~pos dst =
          });
     if not (aborted nxe) then begin
       slot.s_arrived <- slot.s_arrived + 1;
+      if wait_from < slot.s_first_arrival then slot.s_first_arrival <- wait_from;
+      if wait_from >= slot.s_last_arrival then begin
+        slot.s_last_arrival <- wait_from;
+        slot.s_last_variant <- variant
+      end;
       M.Waitq.signal m chan.leader_q;
       let blocked2 = ref !blocked in
       let ready_from = M.now m in
@@ -808,8 +923,7 @@ let follower_shared_fetch nxe chan ~variant ~pos dst =
       done;
       if M.now m > ready_from then Tel.Hist.observe nxe.h_wait (M.now m -. ready_from);
       if not (aborted nxe) then begin
-        M.compute m
-          (if !blocked2 then nxe.cfg.fetch_cost +. nxe.cfg.resched_cost else nxe.cfg.fetch_cost);
+        fetch_compute nxe ~blocked:!blocked2;
         chan.cursors.(i) <- pos + 1;
         touch nxe variant;
         M.Waitq.signal m chan.leader_q
@@ -825,7 +939,7 @@ let det_order_op nxe det ~variant ~chan =
   if nxe.cfg.weak_determinism then begin
     let m = nxe.machine in
     let ltid = chan.ch_path in
-    M.compute m nxe.cfg.synccall_cost;
+    ph_compute m Pr.Phase.Synccall nxe.cfg.synccall_cost;
     if variant = 0 then begin
       Vec.push det.d_order ltid;
       nxe.order_len <- nxe.order_len + 1;
@@ -867,10 +981,10 @@ let rec run_handler nxe ~variant ~chan ops =
   List.iter
     (fun op ->
       match op with
-      | Trace.Work w -> M.compute m w.cost
+      | Trace.Work w -> do_work nxe ~variant w.func w.cost
       | Trace.Sys sc ->
         if Sc.is_synchronized sc then do_sys nxe ~variant ~chan sc
-        else M.compute m (Sc.base_cost sc)
+        else ph_compute m Pr.Phase.Syscall_service (Sc.base_cost sc)
       | _ -> () (* handlers are async-signal-safe: work and syscalls only *))
     ops
 
@@ -912,13 +1026,13 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
     (fun op ->
       if (not (aborted nxe)) && not nxe.v_dead.(variant) then
         match op with
-        | Trace.Work w -> M.compute m w.cost
+        | Trace.Work w -> do_work nxe ~variant w.func w.cost
         | Trace.Idle d -> M.sleep m d
         | Trace.Marker Trace.Main_entered -> in_main := true
         | Trace.Marker Trace.About_to_exit -> in_main := false
         | Trace.Sys sc ->
           if !in_main && Sc.is_synchronized sc then do_sys nxe ~variant ~chan sc
-          else M.compute m (Sc.base_cost sc)
+          else ph_compute m Pr.Phase.Syscall_service (Sc.base_cost sc)
         | Trace.Incr id ->
           (* An unguarded shared write: the interleaving across this
              variant's threads decides the value later syscalls expose. *)
@@ -929,7 +1043,7 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
           let v = !(get_counter nxe ppath variant id) in
           let sc = Sc.make ~args:(sc.Sc.args @ [ v ]) sc.Sc.name in
           if !in_main && Sc.is_synchronized sc then do_sys nxe ~variant ~chan sc
-          else M.compute m (Sc.base_cost sc)
+          else ph_compute m Pr.Phase.Syscall_service (Sc.base_cost sc)
         | Trace.Shared_read { region; counter } ->
           (* §3.3 shared-memory access: only the leader's mapping is
              written by the outside world.  With propagation on, the access
@@ -955,15 +1069,15 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
           else dst := 0L (* stale local copy *)
         | Trace.Lock id ->
           det_order_op nxe det ~variant ~chan;
-          Pthreads.lock m pth id
+          pth_wait m (fun () -> Pthreads.lock m pth id)
         | Trace.Unlock id -> Pthreads.unlock m pth id
         | Trace.Barrier (id, expected) ->
           det_order_op nxe det ~variant ~chan;
-          Pthreads.barrier m pth id expected
+          pth_wait m (fun () -> Pthreads.barrier m pth id expected)
         | Trace.Spawn sub ->
           let k = !spawn_count in
           incr spawn_count;
-          M.compute m (Sc.base_cost (Sc.clone_thread ()));
+          ph_compute m Pr.Phase.Syscall_service (Sc.base_cost (Sc.clone_thread ()));
           let child = get_chan nxe (Printf.sprintf "%s/s%d" chan.ch_path k) in
           (match nxe.tel with
            | Some tel ->
@@ -979,7 +1093,7 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
         | Trace.Fork sub ->
           let k = !fork_count in
           incr fork_count;
-          M.compute m (Sc.base_cost (Sc.fork ()));
+          ph_compute m Pr.Phase.Syscall_service (Sc.base_cost (Sc.fork ()));
           (* The child of the leader becomes the leader of the new execution
              group; followers' children become its followers (§3.3). *)
           let cpath = Printf.sprintf "%s/f%d" ppath k in
@@ -1024,10 +1138,14 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
 (* Entry points *)
 
 let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_sets
-    ?sensitivities ?(signals = []) ?(faults = Faults.none) ?coverage ~names traces =
+    ?sensitivities ?(signals = []) ?(faults = Faults.none) ?coverage ?profile ~names traces =
   let n = List.length traces in
   if n < 1 then invalid_arg "Nxe.run_traces: need at least one variant";
   if List.length names <> n then invalid_arg "Nxe.run_traces: names/traces length mismatch";
+  (match profile with
+   | Some c when Pr.Collector.variants c <> n ->
+     invalid_arg "Nxe.run_traces: profile collector variant count mismatch"
+   | _ -> ());
   let pol = config.fault_policy in
   if Float.is_nan pol.heartbeat_timeout || pol.heartbeat_timeout <= 0.0 then
     invalid_arg "Nxe.run_traces: heartbeat_timeout must be positive (infinity = off)";
@@ -1163,6 +1281,7 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
       fault_abort_incident = None;
       executed = 0;
       h_heartbeat;
+      profile;
     }
   in
   nxe.traces_arr <- Array.of_list traces;
@@ -1280,6 +1399,28 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
             if v' = v then acc +. M.proc_cpu_time machine proc else acc)
           nxe.proc_reg 0.0)
   in
+  (* Fill the attribution collector: per-variant phase-bucket sums over
+     every process of the variant (the monitor lives in its own proc and
+     is never in [proc_reg], so it cannot pollute any variant's totals). *)
+  (match nxe.profile with
+   | Some c ->
+     let vf = Array.of_list variant_finish and vc = Array.of_list variant_cpu in
+     for v = 0 to n - 1 do
+       let phases = Array.make M.phase_slots 0.0 in
+       let thread_time = ref 0.0 in
+       Hashtbl.iter
+         (fun (_, v') proc ->
+           if v' = v then begin
+             let pp = M.proc_phases machine proc in
+             Array.iteri (fun i x -> phases.(i) <- phases.(i) +. x) pp;
+             thread_time := !thread_time +. M.proc_accounted_time machine proc
+           end)
+         nxe.proc_reg;
+       Pr.Collector.fill_variant c ~variant:v ~name:nxe.names.(v) ~wall:vf.(v)
+         ~thread_time:!thread_time ~cpu:vc.(v) phases
+     done;
+     Pr.Collector.fill_run c ~total_time:(M.stats machine).M.total_time
+   | None -> ());
   (* Blame attribution: at an abort, every variant's flight recorder (plus
      the slot stream, for entries the bounded tapes already evicted) yields
      its vote at the divergent slot; the majority names the outlier.  A
@@ -1348,8 +1489,8 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
     machine_stats = M.stats machine;
   }
 
-let run_builds ?config ?machine_config ?on_machine ?faults ?coverage ?(jitter = 0.0)
-    ~seed builds =
+let run_builds ?config ?machine_config ?on_machine ?faults ?coverage ?profile
+    ?(jitter = 0.0) ~seed builds =
   (* Per-variant compute skew: diversified binaries (distinct code layout,
      ASLR, different checks) never run cycle-identical.  The skew is
      systematic per (variant, function) — a function whose cache layout is
@@ -1382,5 +1523,22 @@ let run_builds ?config ?machine_config ?on_machine ?faults ?coverage ?(jitter = 
       (fun i b -> Printf.sprintf "v%d-%s" i b.Program.prog.Program.name)
       builds
   in
-  run_traces ?config ?machine_config ?on_machine ?faults ?coverage ~working_sets
+  (* Per-(variant, function) sanitizer fractions let the executor split
+     check execution out of compute without extra compute calls. *)
+  (match profile with
+   | Some c ->
+     if Pr.Collector.workload c = "" then
+       (match builds with
+        | b :: _ -> Pr.Collector.set_workload c b.Program.prog.Program.name
+        | [] -> ());
+     List.iteri
+       (fun v b ->
+         List.iter
+           (fun (fn : Program.func) ->
+             let f = Pr.sanitizer_fraction b fn.Program.fn_name in
+             if f > 0.0 then Pr.Collector.set_check_fraction c ~variant:v fn.Program.fn_name f)
+           b.Program.prog.Program.funcs)
+       builds
+   | None -> ());
+  run_traces ?config ?machine_config ?on_machine ?faults ?coverage ?profile ~working_sets
     ~sensitivities ~names traces

@@ -205,6 +205,7 @@ val run_traces :
   ?signals:(float * Bunshin_program.Trace.t) list ->
   ?faults:Bunshin_faults.Faults.plan ->
   ?coverage:string list list ->
+  ?profile:Bunshin_profile.Profile.Collector.t ->
   names:string list ->
   Bunshin_program.Trace.t list ->
   report
@@ -221,9 +222,15 @@ val run_traces :
     [config.fault_policy].  [coverage] gives each variant's sanitizer-check
     labels for the {!report.coverage_loss} account (e.g. from a
     {!Bunshin_variant.Variant.plan}'s specs).
+    [profile] attaches an overhead-attribution collector (created for the
+    same variant count): the engine records the straggler at every lockstep
+    rendezvous during the run and fills the per-variant phase totals when
+    it ends.  Attaching one is pure observation — the report is
+    bit-identical with and without it.
     @raise Invalid_argument if any [config] cost is negative or non-finite,
     if the heartbeat timeout or backoff is invalid, if an injection names a
-    variant out of range, or if [coverage] has the wrong length. *)
+    variant out of range, if [coverage] has the wrong length, or if
+    [profile] was created for a different variant count. *)
 
 val run_builds :
   ?config:config ->
@@ -231,6 +238,7 @@ val run_builds :
   ?on_machine:(M.t -> unit) ->
   ?faults:Bunshin_faults.Faults.plan ->
   ?coverage:string list list ->
+  ?profile:Bunshin_profile.Profile.Collector.t ->
   ?jitter:float ->
   seed:int ->
   Bunshin_program.Program.build list ->

@@ -41,4 +41,135 @@ val exec_build :
   Bunshin_machine.Machine.proc
 (** Spawn the build's trace onto an existing machine (threads, locks,
     barriers, syscall service costs — no NXE synchronization) and return
-    its process handle.  Call [Machine.run] afterwards. *)
+    its process handle.  Call [Machine.run] afterwards.  Ops are
+    phase-tagged (see {!Phase}), so the machine's per-thread buckets
+    decompose the run; the sanitizer share of each function's compute is
+    reattributed to {!Phase.Sanitizer} post-hoc — burst boundaries, and
+    hence the schedule, are identical to an untagged run. *)
+
+(** {1 Overhead attribution} *)
+
+(** Named phases over the machine's accounting buckets.  [Compute],
+    [Queue], [Idle], [Sched] and [Wait] alias the machine-owned slots;
+    the rest claim client slots shared by the solo executor and the NXE. *)
+module Phase : sig
+  type t =
+    | Compute
+    | Queue
+    | Idle
+    | Sched
+    | Wait
+    | Sanitizer
+    | Syscall_service
+    | Publish
+    | Fetch
+    | Synccall
+    | Resched
+    | Lockstep_wait
+    | Pthread_wait
+
+  val all : t list
+  (** Every phase once, in report order. *)
+
+  val slot : t -> int
+  (** The machine bucket index this phase charges. *)
+
+  val name : t -> string
+  (** Stable lowercase name used by every exporter. *)
+end
+
+val sanitizer_fraction : Bunshin_program.Program.build -> string -> float
+(** [(cost_factor - 1) / cost_factor] for the function under this build:
+    the share of its measured compute attributable to check execution and
+    residual instrumentation. *)
+
+(** Preallocated per-run collector: exact per-variant aggregates plus a
+    bounded ring of sync-point records (flight-recorder idiom — recording
+    never allocates, overflow drops the {e oldest} records and is counted).
+    Pass one to [Nxe.run_traces]/[run_builds] via [?profile]; the engine
+    records the straggler at each lockstep rendezvous and fills the
+    per-variant phase totals when the run ends. *)
+module Collector : sig
+  type sync_point = {
+    sp_chan : int;       (** channel id *)
+    sp_pos : int;        (** slot position in the channel stream *)
+    sp_time : float;     (** rendezvous completion, machine us *)
+    sp_straggler : int;  (** last variant to arrive *)
+    sp_wait : float;     (** last arrival - first arrival, us *)
+  }
+
+  type t
+
+  val create : ?capacity:int -> int -> t
+  (** [create n] for an [n]-variant run; [capacity] bounds the sync-point
+      ring (default 4096).  @raise Invalid_argument if [n < 1]. *)
+
+  val variants : t -> int
+
+  val record : t -> chan:int -> pos:int -> time:float -> straggler:int -> wait:float -> unit
+  (** Called by the engine at each completed lockstep rendezvous. *)
+
+  val sync_points : t -> int
+  (** Total recorded (including any the ring has since dropped). *)
+
+  val dropped : t -> int
+
+  val recent : t -> sync_point list
+  (** Surviving ring contents, oldest first. *)
+
+  val check_fraction : t -> variant:int -> string -> float
+  (** Per-variant sanitizer share of the named function's compute
+      (0. when unknown). *)
+
+  val set_check_fraction : t -> variant:int -> string -> float -> unit
+
+  val set_workload : t -> string -> unit
+  (** Label the run for the exporters (callers may set it before or after
+      the run; the engine never overwrites a non-empty label). *)
+
+  val workload : t -> string
+
+  val fill_variant :
+    t -> variant:int -> name:string -> wall:float -> thread_time:float ->
+    cpu:float -> float array -> unit
+  (** Engine-side: install a variant's totals when the run ends.  The
+      array is the machine's per-bucket sums over the variant's processes
+      ([Machine.phase_slots] long). *)
+
+  val fill_run : t -> total_time:float -> unit
+  (** Engine-side: group wall time. *)
+end
+
+type variant_attr = {
+  va_index : int;
+  va_name : string;
+  va_wall : float;           (** variant finish time, us *)
+  va_thread_time : float;    (** sum of its threads' accounted lifetimes *)
+  va_cpu : float;
+  va_phases : (Phase.t * float) list;
+  va_phase_sum : float;      (** equals [va_thread_time] up to float noise *)
+  va_straggler_count : int;  (** sync points where this variant arrived last *)
+  va_straggler_wait : float; (** total group wait it caused, us *)
+}
+
+type attribution = {
+  at_workload : string;
+  at_n : int;
+  at_total_time : float;
+  at_sync_points : int;
+  at_dropped : int;
+  at_variants : variant_attr list;
+  at_recent : Collector.sync_point list;
+}
+
+val attribution : Collector.t -> attribution
+(** Decode a filled collector (valid after the NXE run returns). *)
+
+val attribution_to_text : attribution -> string
+
+val attribution_to_json : attribution -> string
+(** Single-object JSON; the shape is pinned by the test suite. *)
+
+val attribution_collapsed : attribution -> string
+(** Collapsed-stack form ("workload;variant;phase weight" per line, weight
+    in integer ns) — feed straight to flamegraph.pl or speedscope. *)

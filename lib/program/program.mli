@@ -71,3 +71,10 @@ val overhead_of_build : build -> float
 (** Model-predicted slowdown of this build vs baseline on the typical
     function mix of the program (used for quick estimates; the profiler
     measures the real thing on the machine). *)
+
+val cost_factor : build -> string -> float
+(** Work-cost multiplier this build applies to the named function
+    (1.0 + kept checks + residual).  The sanitizer-attributable fraction of
+    the function's measured compute is [(cost_factor - 1) / cost_factor] —
+    what the overhead-attribution profiler uses to split compute from
+    check execution without perturbing burst boundaries. *)

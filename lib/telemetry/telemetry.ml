@@ -284,9 +284,11 @@ let to_chrome_json s =
   let body = String.concat ",\n" (metas @ List.map render_event (events s)) in
   "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n" ^ body ^ "\n]}\n"
 
+(* Sorted by name, not registration order: exports are diffable across runs
+   whose code paths registered metrics in different orders. *)
 let ordered_metrics s =
   List.filter_map (fun name -> Option.map (fun m -> (name, m)) (Hashtbl.find_opt s.metrics name))
-    (List.rev s.metric_order)
+    (List.sort_uniq compare (List.rev s.metric_order))
 
 let hist_buckets_json h =
   let row (bound, count) =

@@ -299,6 +299,47 @@ let test_interp_domain () =
   Alcotest.(check bool) "check hits counted" true
     (Tel.Counter.value (Tel.counter sink "interp:v0.check_hits") > 0)
 
+let str_contains hay ne =
+  let nh = String.length hay and nn = String.length ne in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = ne || go (i + 1)) in
+  go 0
+
+let str_index hay ne =
+  let nh = String.length hay and nn = String.length ne in
+  let rec go i =
+    if i + nn > nh then -1 else if String.sub hay i nn = ne then i else go (i + 1)
+  in
+  go 0
+
+(* Every per-variant NXE lane must carry a Chrome `M` (metadata) event
+   naming it "<channel> v<N>" — without these, chrome://tracing shows
+   anonymous tid numbers and the per-variant decomposition is unreadable. *)
+let test_variant_lanes_named () =
+  let sink, _ = traced_session () in
+  let chrome = Tel.to_chrome_json sink in
+  Alcotest.(check bool) "has thread_name metadata" true
+    (str_contains chrome "{\"name\":\"thread_name\",\"ph\":\"M\"");
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (Printf.sprintf "lane for variant %d labeled" v) true
+        (str_contains chrome (Printf.sprintf " v%d\"}}" v)))
+    [ 0; 1 ]
+
+(* Metric keys export in sorted order regardless of registration order, so
+   two runs whose code paths registered metrics differently still diff
+   cleanly. *)
+let test_metrics_sorted () =
+  let sink = Tel.create () in
+  ignore (Tel.counter sink "zeta");
+  ignore (Tel.counter sink "alpha");
+  ignore (Tel.counter sink "beta.sub");
+  let js = Tel.metrics_to_json sink in
+  Alcotest.(check bool) "counters pinned sorted" true
+    (str_contains js "\"counters\":{\"alpha\":0,\"beta.sub\":0,\"zeta\":0}");
+  let txt = Tel.metrics_to_text sink in
+  let ia = str_index txt "alpha" and ib = str_index txt "beta.sub" and iz = str_index txt "zeta" in
+  Alcotest.(check bool) "text order sorted" true (ia >= 0 && ia < ib && ib < iz)
+
 (* ------------------------------------------------------------------ *)
 (* Behavior neutrality: a sink must never change the engine's report. *)
 
@@ -368,6 +409,8 @@ let () =
           Alcotest.test_case "chrome json valid" `Quick test_chrome_json_valid;
           Alcotest.test_case "trace covers layers" `Quick test_trace_covers_layers;
           Alcotest.test_case "interp domain" `Quick test_interp_domain;
+          Alcotest.test_case "variant lanes named" `Quick test_variant_lanes_named;
+          Alcotest.test_case "metrics keys sorted" `Quick test_metrics_sorted;
         ] );
       ( "neutrality",
         [
