@@ -40,6 +40,20 @@ if dune exec bench/main.exe -- diff profile --scale-baseline 0.8 >/dev/null 2>&1
   echo "perf gate self-test: injected regression was NOT detected"; exit 1
 fi
 
+# NXE lockstep gate: `diff nxe --quick` runs the quick `bench nxe`
+# section fresh (which also asserts the hot path's per-sync allocation
+# budget) and compares it against the committed BENCH_nxe.json — the
+# synchronized-syscall counts and simulated times are pinned exactly
+# (bit-identical schedules), the wall-clock sync rate with the same
+# tolerance as the interp gate.  The scaled-baseline rerun proves the
+# gate actually fails on a 25% regression.
+echo "== perf gate (bench nxe --quick vs committed BENCH_nxe.json)"
+dune exec bench/main.exe -- diff nxe --quick
+echo "== perf gate self-test (injected nxe regression must fail)"
+if dune exec bench/main.exe -- diff nxe --quick --scale-baseline 0.8 >/dev/null 2>&1; then
+  echo "nxe perf gate self-test: injected regression was NOT detected"; exit 1
+fi
+
 # Profiler smoke: the overhead-attribution path end to end — per-phase
 # decomposition sums to each variant's thread time (the report prints the
 # identity check per variant) and the JSON exporter self-validates.

@@ -50,6 +50,10 @@ type proc = {
   ws : float;
   sens : float; (* fraction of cycles that are LLC-bound *)
   mutable proc_threads : thread list;
+  mutable p_active : int;
+      (* threads currently Ready or Running: the proc contributes its
+         working set to LLC pressure iff this is > 0.  Maintained at every
+         state transition so the pressure sum can be cached. *)
 }
 
 and thread = {
@@ -64,6 +68,18 @@ and thread = {
   mutable wake_pending : bool;
   mutable finish_time : float;
   mutable cpu : float;
+  mutable self_opt : thread option;
+      (* [Some self], built once at spawn, so entering the fiber does not
+         allocate an option per resume *)
+  mutable eff_arg : float; (* sleep duration, passed effect-payload-free *)
+  (* --- pending-burst payload (at most one burst is in flight per thread,
+     so the Burst_end event needs no allocated record: the event heap
+     stores only (time, seq, kind, thread) and the burst parameters live
+     here) --- *)
+  mutable b_ci : int;      (* core the burst runs on *)
+  mutable b_slice : float; (* requested compute in the burst *)
+  mutable b_eff : float;   (* effective cost incl. inflation + ctx switch *)
+  mutable b_ctx : float;   (* context-switch share of b_eff *)
   (* --- phase accounting --- *)
   spawn_time : float;
   mutable p_since : float; (* start of the current state interval *)
@@ -74,9 +90,83 @@ and thread = {
 
 type tid = thread
 
-(* Burst_end carries the context-switch share of [effective] so the
-   handler can reattribute it from the running bucket to [slot_sched]. *)
-type event = Burst_end of thread * int * float * float * float | Wake_at of thread
+let dummy_proc =
+  { pid = -1; pname = "<none>"; ws = 0.0; sens = 0.0; proc_threads = []; p_active = 0 }
+
+(* Placeholder filling empty queue/heap slots: never dispatched, never woken. *)
+let dummy_thread =
+  {
+    id = -1;
+    tname = "<none>";
+    daemon = true;
+    t_proc = dummy_proc;
+    body = (fun () -> ());
+    state = Finished;
+    k = Live;
+    remaining = 0.0;
+    wake_pending = false;
+    finish_time = 0.0;
+    cpu = 0.0;
+    self_opt = None;
+    eff_arg = 0.0;
+    b_ci = -1;
+    b_slice = 0.0;
+    b_eff = 0.0;
+    b_ctx = 0.0;
+    spawn_time = 0.0;
+    p_since = 0.0;
+    p_run = 0;
+    p_wait = 0;
+    p_acc = [||];
+  }
+
+(* Flat ring deque of threads: the run queue and every wait queue.  A push
+   or take is a couple of array operations — no cell allocation per entry
+   (stdlib [Queue] allocates one cons cell per push, which on the NXE hot
+   path meant an allocation per park/wake/ready transition).  Capacity is
+   kept a power of two so the index wrap is a mask. *)
+module Tq = struct
+  type q = { mutable buf : thread array; mutable head : int; mutable len : int }
+
+  let create () = { buf = Array.make 4 dummy_thread; head = 0; len = 0 }
+  let length q = q.len
+  let is_empty q = q.len = 0
+
+  let grow q =
+    let cap = Array.length q.buf in
+    let buf = Array.make (2 * cap) dummy_thread in
+    for i = 0 to q.len - 1 do
+      buf.(i) <- q.buf.((q.head + i) land (cap - 1))
+    done;
+    q.buf <- buf;
+    q.head <- 0
+
+  let push q th =
+    if q.len = Array.length q.buf then grow q;
+    q.buf.((q.head + q.len) land (Array.length q.buf - 1)) <- th;
+    q.len <- q.len + 1
+
+  (* Caller guarantees non-empty. *)
+  let take q =
+    let mask = Array.length q.buf - 1 in
+    let th = q.buf.(q.head) in
+    q.buf.(q.head) <- dummy_thread;
+    q.head <- (q.head + 1) land mask;
+    q.len <- q.len - 1;
+    th
+
+  let get q i = q.buf.((q.head + i) land (Array.length q.buf - 1))
+
+  (* Remove the entry at logical index [i], preserving the order of the
+     rest (shifts the tail side down by one). *)
+  let remove_at q i =
+    let mask = Array.length q.buf - 1 in
+    for j = i to q.len - 2 do
+      q.buf.((q.head + j) land mask) <- q.buf.((q.head + j + 1) land mask)
+    done;
+    q.buf.((q.head + q.len - 1) land mask) <- dummy_thread;
+    q.len <- q.len - 1
+end
 
 type core = { mutable c_last : int; mutable c_busy : bool; mutable c_budget : float }
 
@@ -92,10 +182,26 @@ type tel = {
   mutable t_last_pressure : float;
 }
 
+(* Event kinds in the flat heap. *)
+let ev_burst = 0
+let ev_wake = 1
+
 type t = {
   cfg : config;
-  heap : event Event_heap.t;
-  runq : thread Queue.t;
+  (* Flat binary event heap, struct-of-arrays: the priority is (time, key)
+     where [key = seq * 2 + kind] packs the unique insertion sequence and
+     the event kind into one word — seq occupies the high bits, so key
+     order equals seq order and the tie-break is unchanged.  Burst
+     parameters live on the thread itself (see [b_*] fields), so pushing
+     or popping an event allocates nothing.  Pop order equals sorted
+     (time, seq) order — exactly the order the old record-based heap
+     gave. *)
+  mutable h_time : float array;
+  mutable h_key : int array;
+  mutable h_th : thread array;
+  mutable h_len : int;
+  mutable h_next_seq : int;
+  runq : Tq.q;
   cores : core array;
   mutable procs : proc list;
   mutable threads : thread list;
@@ -105,12 +211,23 @@ type t = {
   mutable next_tid : int;
   mutable ctx_switches : int;
   mutable pressure_peak : float;
+  (* O(1) liveness/deadlock accounting: non-daemon threads not yet
+     Finished, and how many of those are Blocked.  The run loop's
+     per-event "are we deadlocked / is anyone alive" checks were O(threads)
+     list walks before. *)
+  mutable nd_unfinished : int;
+  mutable nd_blocked : int;
+  (* Cached LLC pressure: recomputed — with the same fold, in the same
+     order, so the float result is bit-identical — only when some proc's
+     active-thread count crossed the 0 boundary. *)
+  mutable pressure_cache : float;
+  mutable pressure_dirty : bool;
   tel : tel option;
 }
 
 type _ Effect.t +=
-  | E_compute : float -> unit Effect.t
-  | E_sleep : float -> unit Effect.t
+  | E_compute : unit Effect.t (* burst size pre-staged in th.remaining *)
+  | E_sleep : unit Effect.t   (* duration pre-staged in th.eff_arg *)
   | E_park : unit Effect.t
   | E_yield : unit Effect.t
 
@@ -140,8 +257,12 @@ let create ?(config = default_config) ?telemetry () =
   in
   {
     cfg = config;
-    heap = Event_heap.create ();
-    runq = Queue.create ();
+    h_time = Array.make 64 0.0;
+    h_key = Array.make 64 0;
+    h_th = Array.make 64 dummy_thread;
+    h_len = 0;
+    h_next_seq = 0;
+    runq = Tq.create ();
     cores =
       Array.init config.cores (fun _ -> { c_last = -1; c_busy = false; c_budget = 0.0 });
     procs = [];
@@ -152,18 +273,95 @@ let create ?(config = default_config) ?telemetry () =
     next_tid = 0;
     ctx_switches = 0;
     pressure_peak = 0.0;
+    nd_unfinished = 0;
+    nd_blocked = 0;
+    pressure_cache = 0.0;
+    pressure_dirty = true;
     tel;
   }
 
 let now t = t.clock
 
+(* ------------------------------------------------------------------ *)
+(* Flat event heap *)
+
+let heap_before t i j =
+  t.h_time.(i) < t.h_time.(j)
+  || (t.h_time.(i) = t.h_time.(j) && t.h_key.(i) < t.h_key.(j))
+
+let heap_swap t i j =
+  let tm = t.h_time.(i) in
+  t.h_time.(i) <- t.h_time.(j);
+  t.h_time.(j) <- tm;
+  let ky = t.h_key.(i) in
+  t.h_key.(i) <- t.h_key.(j);
+  t.h_key.(j) <- ky;
+  let th = t.h_th.(i) in
+  t.h_th.(i) <- t.h_th.(j);
+  t.h_th.(j) <- th
+
+let heap_grow t =
+  let cap = Array.length t.h_time in
+  let ncap = 2 * cap in
+  let time = Array.make ncap 0.0
+  and key = Array.make ncap 0
+  and th = Array.make ncap dummy_thread in
+  Array.blit t.h_time 0 time 0 t.h_len;
+  Array.blit t.h_key 0 key 0 t.h_len;
+  Array.blit t.h_th 0 th 0 t.h_len;
+  t.h_time <- time;
+  t.h_key <- key;
+  t.h_th <- th
+
+let heap_push t time kind th =
+  if t.h_len = Array.length t.h_time then heap_grow t;
+  let i = ref t.h_len in
+  t.h_time.(!i) <- time;
+  t.h_key.(!i) <- (2 * t.h_next_seq) + kind;
+  t.h_th.(!i) <- th;
+  t.h_next_seq <- t.h_next_seq + 1;
+  t.h_len <- t.h_len + 1;
+  while !i > 0 && heap_before t !i ((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    heap_swap t !i p;
+    i := p
+  done
+
+(* Remove the root; caller has already read it. *)
+let heap_drop t =
+  t.h_len <- t.h_len - 1;
+  if t.h_len > 0 then begin
+    t.h_time.(0) <- t.h_time.(t.h_len);
+    t.h_key.(0) <- t.h_key.(t.h_len);
+    t.h_th.(0) <- t.h_th.(t.h_len);
+    t.h_th.(t.h_len) <- dummy_thread;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.h_len && heap_before t l !smallest then smallest := l;
+      if r < t.h_len && heap_before t r !smallest then smallest := r;
+      if !smallest <> !i then begin
+        heap_swap t !smallest !i;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end
+  else t.h_th.(0) <- dummy_thread
+
+(* ------------------------------------------------------------------ *)
+(* State transitions *)
+
 let new_proc t ?(cache_sensitivity = 1.0) ~name ~working_set () =
   let p =
     { pid = t.next_pid; pname = name; ws = working_set; sens = cache_sensitivity;
-      proc_threads = [] }
+      proc_threads = []; p_active = 0 }
   in
   t.next_pid <- t.next_pid + 1;
   t.procs <- p :: t.procs;
+  t.pressure_dirty <- true;
   p
 
 let proc_name p = p.pname
@@ -186,10 +384,39 @@ let charge t th =
   end;
   th.p_since <- t.clock
 
+(* The single state-assignment point: maintains the deadlock counters and
+   each proc's active-thread count (hence the pressure cache's dirty bit).
+   Callers still [charge] first — charging needs the OLD state. *)
+let set_state t th st =
+  let old = th.state in
+  if old <> st then begin
+    if not th.daemon then begin
+      (match old with Blocked -> t.nd_blocked <- t.nd_blocked - 1 | _ -> ());
+      (match st with
+       | Blocked -> t.nd_blocked <- t.nd_blocked + 1
+       | Finished -> t.nd_unfinished <- t.nd_unfinished - 1
+       | _ -> ())
+    end;
+    let was_active = match old with Ready | Running -> true | _ -> false in
+    let is_active = match st with Ready | Running -> true | _ -> false in
+    if was_active <> is_active then begin
+      let p = th.t_proc in
+      if is_active then begin
+        p.p_active <- p.p_active + 1;
+        if p.p_active = 1 then t.pressure_dirty <- true
+      end
+      else begin
+        p.p_active <- p.p_active - 1;
+        if p.p_active = 0 then t.pressure_dirty <- true
+      end
+    end;
+    th.state <- st
+  end
+
 let make_ready t th =
   charge t th;
-  th.state <- Ready;
-  Queue.push th t.runq
+  set_state t th Ready;
+  Tq.push t.runq th
 
 let spawn t ?(daemon = false) proc ~name body =
   let th =
@@ -205,6 +432,12 @@ let spawn t ?(daemon = false) proc ~name body =
       wake_pending = false;
       finish_time = 0.0;
       cpu = 0.0;
+      self_opt = None;
+      eff_arg = 0.0;
+      b_ci = -1;
+      b_slice = 0.0;
+      b_eff = 0.0;
+      b_ctx = 0.0;
       spawn_time = t.clock;
       p_since = t.clock;
       p_run = slot_compute;
@@ -212,10 +445,14 @@ let spawn t ?(daemon = false) proc ~name body =
       p_acc = Array.make phase_slots 0.0;
     }
   in
+  th.self_opt <- Some th;
   t.next_tid <- t.next_tid + 1;
   t.threads <- th :: t.threads;
   proc.proc_threads <- th :: proc.proc_threads;
-  Queue.push th t.runq;
+  if not daemon then t.nd_unfinished <- t.nd_unfinished + 1;
+  proc.p_active <- proc.p_active + 1;
+  if proc.p_active = 1 then t.pressure_dirty <- true;
+  Tq.push t.runq th;
   th
 
 let current_thread t =
@@ -226,12 +463,20 @@ let current_thread t =
 let self t = current_thread t
 
 let compute t d =
-  let _ = current_thread t in
-  if d > 0.0 then perform (E_compute d)
+  let th = current_thread t in
+  if d > 0.0 then begin
+    (* Stage the burst size in the thread record: the effect carries no
+       payload, so performing it allocates no constructor or boxed float. *)
+    th.remaining <- d;
+    perform E_compute
+  end
 
 let sleep t d =
-  let _ = current_thread t in
-  if d > 0.0 then perform (E_sleep d)
+  let th = current_thread t in
+  if d > 0.0 then begin
+    th.eff_arg <- d;
+    perform E_sleep
+  end
 
 let park t =
   let th = current_thread t in
@@ -245,8 +490,8 @@ let wake t th =
   match th.state with
   | Blocked ->
     charge t th;
-    th.state <- Ready;
-    Queue.push th t.runq;
+    set_state t th Ready;
+    Tq.push t.runq th;
     (match t.tel with
      | Some tel ->
        Tel.Counter.incr tel.t_wakes;
@@ -270,7 +515,7 @@ let cancel t th =
   | _ when (match t.current with Some c -> c == th | None -> false) -> ()
   | _ ->
     charge t th;
-    th.state <- Finished;
+    set_state t th Finished;
     th.finish_time <- t.clock;
     th.k <- Live (* drop the suspended continuation; it must never resume *)
 
@@ -280,12 +525,17 @@ let cancel_proc t p = List.iter (cancel t) p.proc_threads
 (* Cache model: inflation of compute cost under LLC pressure. *)
 
 let active_pressure t =
-  let active p =
-    List.exists (fun th -> match th.state with Ready | Running -> true | _ -> false)
-      p.proc_threads
-  in
-  let total = List.fold_left (fun acc p -> if active p then acc +. p.ws else acc) 0.0 t.procs in
-  total /. t.cfg.llc_capacity
+  if t.pressure_dirty then begin
+    (* Same fold over the same list in the same order as always — only the
+       per-proc activity test changed from a thread-list walk to a counter
+       read — so the cached float is bit-identical to a fresh recompute. *)
+    let total =
+      List.fold_left (fun acc p -> if p.p_active > 0 then acc +. p.ws else acc) 0.0 t.procs
+    in
+    t.pressure_cache <- total /. t.cfg.llc_capacity;
+    t.pressure_dirty <- false
+  end;
+  t.pressure_cache
 
 let multiplier t th =
   let pressure = active_pressure t in
@@ -312,55 +562,67 @@ let multiplier t th =
 (* Fiber management *)
 
 let handler t th =
+  (* The four effect cases are closed over once per thread, [Some] included:
+     returning a preallocated option from [effc] means a [perform] on the
+     hot path allocates only the continuation the runtime hands us, not a
+     fresh closure per suspension. *)
+  let on_compute : ((unit, unit) continuation -> unit) option =
+    Some
+      (fun k ->
+        (* th.remaining was staged by [compute]. *)
+        th.k <- Suspended k;
+        make_ready t th)
+  in
+  let on_sleep : ((unit, unit) continuation -> unit) option =
+    Some
+      (fun k ->
+        th.k <- Suspended k;
+        charge t th;
+        set_state t th Sleeping;
+        heap_push t (t.clock +. th.eff_arg) ev_wake th)
+  in
+  let on_park : ((unit, unit) continuation -> unit) option =
+    Some
+      (fun k ->
+        th.k <- Suspended k;
+        charge t th;
+        set_state t th Blocked;
+        match t.tel with
+        | Some tel ->
+          Tel.Counter.incr tel.t_parks;
+          Tel.instant tel.t_dom ~tid:tel.t_sched_tid ~args:[ ("thread", th.tname) ]
+            ~ts:t.clock ~cat:"machine" "park"
+        | None -> ())
+  in
+  let on_yield : ((unit, unit) continuation -> unit) option =
+    Some
+      (fun k ->
+        th.k <- Suspended k;
+        make_ready t th)
+  in
   {
     retc =
       (fun () ->
         charge t th;
-        th.state <- Finished;
+        set_state t th Finished;
         th.finish_time <- t.clock;
         th.k <- Live);
     exnc = (fun e -> raise e);
     effc =
-      (fun (type a) (eff : a Effect.t) ->
+      (fun (type a) (eff : a Effect.t) : ((a, unit) continuation -> unit) option ->
         match eff with
-        | E_compute d ->
-          Some
-            (fun (k : (a, unit) continuation) ->
-              th.k <- Suspended k;
-              th.remaining <- d;
-              make_ready t th)
-        | E_sleep d ->
-          Some
-            (fun (k : (a, unit) continuation) ->
-              th.k <- Suspended k;
-              charge t th;
-              th.state <- Sleeping;
-              Event_heap.push t.heap (t.clock +. d) (Wake_at th))
-        | E_park ->
-          Some
-            (fun (k : (a, unit) continuation) ->
-              th.k <- Suspended k;
-              charge t th;
-              th.state <- Blocked;
-              match t.tel with
-              | Some tel ->
-                Tel.Counter.incr tel.t_parks;
-                Tel.instant tel.t_dom ~tid:tel.t_sched_tid ~args:[ ("thread", th.tname) ]
-                  ~ts:t.clock ~cat:"machine" "park"
-              | None -> ())
-        | E_yield ->
-          Some
-            (fun (k : (a, unit) continuation) ->
-              th.k <- Suspended k;
-              make_ready t th)
+        | E_compute -> on_compute
+        | E_sleep -> on_sleep
+        | E_park -> on_park
+        | E_yield -> on_yield
         | _ -> None);
   }
 
 let resume_fiber t th =
   let saved = t.current in
-  t.current <- Some th;
+  t.current <- th.self_opt;
   charge t th;
-  th.state <- Running;
+  set_state t th Running;
   (match th.k with
    | Not_started ->
      th.k <- Live;
@@ -375,18 +637,25 @@ let resume_fiber t th =
 (* Scheduler *)
 
 (* Wake affinity: prefer the core this thread last ran on (warm caches, no
-   switch charge), like the kernel's select_idle_sibling. *)
+   switch charge), like the kernel's select_idle_sibling.  Returns -1 when
+   every core is busy. *)
 let free_core_for t th =
   let n = Array.length t.cores in
-  let rec find_last i =
-    if i = n then None
-    else if (not t.cores.(i).c_busy) && t.cores.(i).c_last = th.id then Some i
-    else find_last (i + 1)
-  in
-  let rec find_any i =
-    if i = n then None else if not t.cores.(i).c_busy then Some i else find_any (i + 1)
-  in
-  match find_last 0 with Some i -> Some i | None -> find_any 0
+  let found = ref (-1) in
+  let i = ref 0 in
+  while !found < 0 && !i < n do
+    if (not t.cores.(!i).c_busy) && t.cores.(!i).c_last = th.id then found := !i;
+    incr i
+  done;
+  if !found >= 0 then !found
+  else begin
+    let j = ref 0 in
+    while !found < 0 && !j < n do
+      if not t.cores.(!j).c_busy then found := !j;
+      incr j
+    done;
+    !found
+  end
 
 let start_burst t th ci =
   let core = t.cores.(ci) in
@@ -407,11 +676,18 @@ let start_burst t th ci =
   core.c_last <- th.id;
   core.c_busy <- true;
   let mult = multiplier t th in
-  let slice = Float.min th.remaining t.cfg.quantum in
+  (* [Float.min remaining quantum] without the call: both are positive and
+     finite, where the two agree bit-for-bit. *)
+  let slice = if th.remaining <= t.cfg.quantum then th.remaining else t.cfg.quantum in
   let effective = ctx +. (slice *. mult) in
   charge t th;
-  th.state <- Running;
-  Event_heap.push t.heap (t.clock +. effective) (Burst_end (th, ci, slice, effective, ctx))
+  set_state t th Running;
+  th.b_ci <- ci;
+  th.b_slice <- slice;
+  th.b_eff <- effective;
+  th.b_ctx <- ctx;
+  core.c_budget <- core.c_budget -. slice;
+  heap_push t (t.clock +. effective) ev_burst th
 
 let dispatch t =
   (* Each round: walk the current run queue once, resuming zero-cost fibers
@@ -423,125 +699,119 @@ let dispatch t =
     again := false;
     (* Timeslice affinity: a free core whose last thread is runnable and
        still has quantum budget keeps it, regardless of queue order —
-       otherwise two compute-heavy threads would ping-pong on every op. *)
-    Array.iter
-      (fun core ->
-        if (not core.c_busy) && core.c_budget > 0.0 then begin
-          let keep = ref None in
-          Queue.iter
-            (fun th ->
-              if !keep = None && th.id = core.c_last && th.state = Ready && th.remaining > 0.0
-              then keep := Some th)
-            t.runq;
-          match !keep with
-          | Some th ->
-            (* Remove that one entry, preserving the order of the rest. *)
-            let rest = Queue.create () in
-            Queue.iter (fun x -> if x != th then Queue.push x rest) t.runq;
-            Queue.clear t.runq;
-            Queue.transfer rest t.runq;
-            let ci =
-              let rec find i = if t.cores.(i) == core then i else find (i + 1) in
-              find 0
-            in
-            start_burst t th ci;
-            core.c_budget <- core.c_budget -. Float.min th.remaining t.cfg.quantum
-          | None -> ()
-        end)
-      t.cores;
-    let pending = Queue.length t.runq in
+       otherwise two compute-heavy threads would ping-pong on every op.
+       Nothing to place when the queue is empty, so skip the core walk. *)
+    let ncores = if Tq.is_empty t.runq then 0 else Array.length t.cores in
+    for ci = 0 to ncores - 1 do
+      let core = t.cores.(ci) in
+      if (not core.c_busy) && core.c_budget > 0.0 then begin
+        let n = Tq.length t.runq in
+        let idx = ref (-1) in
+        let i = ref 0 in
+        while !idx < 0 && !i < n do
+          let th = Tq.get t.runq !i in
+          if th.id = core.c_last && th.state = Ready && th.remaining > 0.0 then idx := !i;
+          incr i
+        done;
+        if !idx >= 0 then begin
+          let th = Tq.get t.runq !idx in
+          Tq.remove_at t.runq !idx;
+          start_burst t th ci
+        end
+      end
+    done;
+    let pending = Tq.length t.runq in
     for _ = 1 to pending do
-      match Queue.take_opt t.runq with
-      | None -> ()
-      | Some th when th.state <> Ready -> () (* stale entry *)
-      | Some th ->
-        if th.remaining <= 0.0 then begin
+      if not (Tq.is_empty t.runq) then begin
+        let th = Tq.take t.runq in
+        if th.state <> Ready then () (* stale entry *)
+        else if th.remaining <= 0.0 then begin
           (* Nothing to burn: resume the fiber immediately (zero sim time). *)
           resume_fiber t th;
           again := true
         end
         else begin
-          match free_core_for t th with
-          | None -> Queue.push th t.runq
-          | Some ci ->
-            start_burst t th ci;
-            t.cores.(ci).c_budget <- t.cores.(ci).c_budget -. Float.min th.remaining t.cfg.quantum
+          let ci = free_core_for t th in
+          if ci < 0 then Tq.push t.runq th else start_burst t th ci
         end
+      end
     done
   done
 
-let non_daemon_alive t =
-  List.exists (fun th -> (not th.daemon) && th.state <> Finished) t.threads
-
-let deadlocked t =
-  let stuck = ref [] in
-  let all_blocked_or_done =
-    List.for_all
-      (fun th ->
-        if th.daemon then true
-        else
-          match th.state with
-          | Finished -> true
-          | Blocked ->
-            stuck := th.tname :: !stuck;
-            true
-          | Ready | Running | Sleeping -> false)
+(* Cold path: only called to build the Deadlock message, with the same
+   name order the old full-walk check produced. *)
+let stuck_names t =
+  let stuck =
+    List.filter_map
+      (fun th -> if (not th.daemon) && th.state = Blocked then Some th.tname else None)
       t.threads
   in
-  if all_blocked_or_done && !stuck <> [] then Some (String.concat ", " !stuck) else None
+  String.concat ", " (List.rev stuck)
 
-let handle_event t = function
-  | Wake_at th ->
-    if th.state = Sleeping then begin
-      charge t th;
-      th.state <- Ready;
-      Queue.push th t.runq
-    end
-  | Burst_end (th, ci, slice, effective, ctx) ->
-    t.cores.(ci).c_busy <- false;
-    th.remaining <- th.remaining -. slice;
-    th.cpu <- th.cpu +. effective;
-    (* Charge the whole burst to the running bucket first, then carve the
-       context-switch share out into the scheduler bucket, so a client that
-       reads its buckets right after [compute] returns sees the burst
-       attributed.  A thread cancelled mid-burst was already charged its
-       partial interval at cancellation time; skip the carve-out. *)
-    charge t th;
-    if ctx > 0.0 && th.state = Running then begin
-      let amount = Float.min ctx th.p_acc.(th.p_run) in
-      th.p_acc.(th.p_run) <- th.p_acc.(th.p_run) -. amount;
-      th.p_acc.(slot_sched) <- th.p_acc.(slot_sched) +. amount
-    end;
-    (match t.tel with
-     | Some tel ->
-       (* One complete span per CPU burst, on the core's lane: the trace
-          shows exactly how the scheduler packed threads onto cores. *)
-       Tel.span_complete tel.t_dom ~tid:ci ~ts:(t.clock -. effective) ~dur:effective
-         ~cat:"machine" th.tname
-     | None -> ());
-    if th.state = Finished then () (* cancelled mid-burst: free the core only *)
-    else if th.remaining > 1e-12 then make_ready t th
-    else resume_fiber t th
+let handle_burst_end t th =
+  let ci = th.b_ci
+  and slice = th.b_slice
+  and effective = th.b_eff
+  and ctx = th.b_ctx in
+  t.cores.(ci).c_busy <- false;
+  th.remaining <- th.remaining -. slice;
+  th.cpu <- th.cpu +. effective;
+  (* Charge the whole burst to the running bucket first, then carve the
+     context-switch share out into the scheduler bucket, so a client that
+     reads its buckets right after [compute] returns sees the burst
+     attributed.  A thread cancelled mid-burst was already charged its
+     partial interval at cancellation time; skip the carve-out. *)
+  charge t th;
+  if ctx > 0.0 && th.state = Running then begin
+    let amount = Float.min ctx th.p_acc.(th.p_run) in
+    th.p_acc.(th.p_run) <- th.p_acc.(th.p_run) -. amount;
+    th.p_acc.(slot_sched) <- th.p_acc.(slot_sched) +. amount
+  end;
+  (match t.tel with
+   | Some tel ->
+     (* One complete span per CPU burst, on the core's lane: the trace
+        shows exactly how the scheduler packed threads onto cores. *)
+     Tel.span_complete tel.t_dom ~tid:ci ~ts:(t.clock -. effective) ~dur:effective
+       ~cat:"machine" th.tname
+   | None -> ());
+  if th.state = Finished then () (* cancelled mid-burst: free the core only *)
+  else if th.remaining > 1e-12 then make_ready t th
+  else resume_fiber t th
 
 let run t =
   let rec loop () =
     dispatch t;
-    if not (non_daemon_alive t) then ()
+    if t.nd_unfinished = 0 then ()
     else begin
-      (match deadlocked t with
-       | Some names -> raise (Deadlock ("threads blocked forever: " ^ names))
-       | None -> ());
-      match Event_heap.pop t.heap with
-      | None ->
+      (* All non-daemon threads Blocked (none Ready/Running/Sleeping):
+         nothing can ever wake them. *)
+      if t.nd_blocked = t.nd_unfinished then
+        raise (Deadlock ("threads blocked forever: " ^ stuck_names t));
+      if t.h_len = 0 then
         (* No events and dispatch made no progress: every runnable path is
            exhausted, so remaining non-daemon threads are stuck. *)
         raise (Deadlock "no pending events but non-daemon threads remain")
-      | Some (time, ev) ->
-        t.clock <- Float.max t.clock time;
+      else begin
+        let time = t.h_time.(0) in
+        let kind = t.h_key.(0) land 1 in
+        let th = t.h_th.(0) in
+        heap_drop t;
+        (* Event times are never behind the clock (every push is at
+           [clock + positive] and pops come in key order), so this is
+           [Float.max] without the function call. *)
+        if time > t.clock then t.clock <- time;
         if t.clock > t.cfg.max_time then
           raise (Deadlock (Printf.sprintf "max_time %.0f exceeded" t.cfg.max_time));
-        handle_event t ev;
+        if kind = ev_wake then begin
+          if th.state = Sleeping then begin
+            charge t th;
+            set_state t th Ready;
+            Tq.push t.runq th
+          end
+        end
+        else handle_burst_end t th;
         loop ()
+      end
     end
   in
   loop ()
@@ -633,22 +903,48 @@ let proc_accounted_time t p =
 
 module Waitq = struct
   type mach = t
-  type t = { q : thread Queue.t }
+  type t = Tq.q
 
-  let create () = { q = Queue.create () }
+  let create () = Tq.create ()
 
   let wait (m : mach) wq =
     let th = current_thread m in
-    Queue.push th wq.q;
+    Tq.push wq th;
     park m
 
-  let signal (m : mach) wq =
-    match Queue.take_opt wq.q with None -> () | Some th -> wake m th
+  let signal (m : mach) wq = if Tq.length wq > 0 then wake m (Tq.take wq)
 
   let broadcast (m : mach) wq =
-    while not (Queue.is_empty wq.q) do
+    while not (Tq.is_empty wq) do
       signal m wq
     done
 
-  let waiters wq = Queue.length wq.q
+  (* Batched release: drain every queue, in queue order then array order —
+     exactly the wake order of [Array.iter (broadcast m) qs] — but as one
+     primitive, with the telemetry test hoisted out of the per-thread loop.
+     One leader publish releasing N-1 followers costs one call and N-1
+     array pushes, with no per-wake dispatch in between: the woken set
+     lands on the run queue atomically w.r.t. the scheduler. *)
+  let broadcast_many (m : mach) (qs : t array) =
+    match m.tel with
+    | Some _ ->
+      for i = 0 to Array.length qs - 1 do
+        broadcast m qs.(i)
+      done
+    | None ->
+      for i = 0 to Array.length qs - 1 do
+        let wq = qs.(i) in
+        while not (Tq.is_empty wq) do
+          let th = Tq.take wq in
+          match th.state with
+          | Blocked ->
+            charge m th;
+            set_state m th Ready;
+            Tq.push m.runq th
+          | Ready | Running | Sleeping -> th.wake_pending <- true
+          | Finished -> ()
+        done
+      done
+
+  let waiters wq = Tq.length wq
 end

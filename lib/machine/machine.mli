@@ -194,5 +194,14 @@ module Waitq : sig
   val broadcast : mach -> t -> unit
   (** Wake all waiting threads. *)
 
+  val broadcast_many : mach -> t array -> unit
+  (** Wake all waiting threads of every queue, in queue order then array
+      order — exactly the wake order of [Array.iter (broadcast m) qs] —
+      as one batched scheduler operation.  One publisher releasing N
+      waiters across N queues costs one call, with no per-wake dispatch
+      in between; the woken set lands on the run queue before the
+      scheduler runs again. *)
+
   val waiters : t -> int
 end
+

@@ -128,25 +128,40 @@ let cause_string = function
 (* ------------------------------------------------------------------ *)
 (* Internal state *)
 
-type slot = {
-  s_sc : Sc.t;
-  mutable s_ready : bool;
-  mutable s_arrived : int;
-  (* Straggler tracking (three scalars, not an array: recording a
-     rendezvous must not allocate).  The leader's "arrival" is its publish
-     time; followers stamp the time they entered the sync point, before
-     blocking — so last - first is the group wait the straggler caused. *)
-  mutable s_first_arrival : float;
-  mutable s_last_arrival : float;
-  mutable s_last_variant : int;
-}
+(* Placeholder filling unwritten ring cells; never compared or executed. *)
+let dummy_sc = Sc.make "nxe.empty"
+
+(* Templates for the engine's own synthetic syscalls: classification is
+   paid once here, hot-path emission is [Sc.with_args] on the template. *)
+let sc_synccall = Sc.make "synccall"
+let sc_signal_delivery = Sc.make "signal_delivery"
+let sc_clone_cost = Sc.base_cost (Sc.clone_thread ())
+let sc_fork_cost = Sc.base_cost (Sc.fork ())
 
 (* One syscall channel per logical thread: the per-thread stream of the
-   execution group. *)
+   execution group.  The slot ring is struct-of-arrays: publish, fetch and
+   vote write preallocated ints/floats/bools — no record per event.  The
+   per-slot columns are:
+     sl_sc       the published syscall
+     sl_ready    leader released the slot (result available)
+     sl_arrived  followers checked in so far
+     sl_first/sl_last/sl_lastv   straggler tracking — the leader's
+       "arrival" is its publish time; followers stamp the time they
+       entered the sync point, before blocking, so last - first is the
+       group wait the straggler caused
+     sl_sigdel   cached "is this a signal-delivery marker" so the fetch
+       spin tests a bool, not a string *)
 type chan = {
   ch_id : int;
   ch_path : string; (* identity of the logical thread, equal across variants *)
-  slots : slot Vec.t;
+  mutable sl_sc : Sc.t array;
+  mutable sl_ready : bool array;
+  mutable sl_arrived : int array;
+  mutable sl_first : float array;
+  mutable sl_last : float array;
+  mutable sl_lastv : int array;
+  mutable sl_sigdel : bool array;
+  mutable sl_len : int;
   mutable leader_pos : int;
   mutable leader_done : bool;
   cursors : int array; (* per follower *)
@@ -159,11 +174,31 @@ type chan = {
      recording), so an abort can reconstruct who went off-script *)
 }
 
+(* Amortized-doubling growth of the slot columns; slots are never evicted
+   (a restarted variant refetches), exactly like the Vec they replace. *)
+let ensure_slot chan =
+  let cap = Array.length chan.sl_ready in
+  if chan.sl_len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let grow_sc a = let b = Array.make ncap dummy_sc in Array.blit a 0 b 0 cap; b in
+    let grow_b a = let b = Array.make ncap false in Array.blit a 0 b 0 cap; b in
+    let grow_i a = let b = Array.make ncap 0 in Array.blit a 0 b 0 cap; b in
+    let grow_f a = let b = Array.make ncap 0.0 in Array.blit a 0 b 0 cap; b in
+    chan.sl_sc <- grow_sc chan.sl_sc;
+    chan.sl_ready <- grow_b chan.sl_ready;
+    chan.sl_arrived <- grow_i chan.sl_arrived;
+    chan.sl_first <- grow_f chan.sl_first;
+    chan.sl_last <- grow_f chan.sl_last;
+    chan.sl_lastv <- grow_i chan.sl_lastv;
+    chan.sl_sigdel <- grow_b chan.sl_sigdel
+  end
+
 (* Weak-determinism replay state: one per process path, shared by all
-   variants (models the kernel module's order_list). *)
+   variants (models the kernel module's order_list).  Order entries are
+   interned channel ids — the replay spin compares ints, never paths. *)
 type det = {
-  d_order : string Vec.t; (* ltids in leader acquisition order *)
-  d_cursors : int array;  (* per follower variant *)
+  d_order : int Vec.t;   (* ltids (as channel ids) in leader acquisition order *)
+  d_cursors : int array; (* per follower variant *)
   d_qs : M.Waitq.t array; (* per follower variant *)
 }
 
@@ -339,7 +374,14 @@ let get_chan nxe path =
       {
         ch_id = nxe.chan_count;
         ch_path = path;
-        slots = Vec.create ();
+        sl_sc = [||];
+        sl_ready = [||];
+        sl_arrived = [||];
+        sl_first = [||];
+        sl_last = [||];
+        sl_lastv = [||];
+        sl_sigdel = [||];
+        sl_len = 0;
         leader_pos = 0;
         leader_done = false;
         cursors = Array.make nf 0;
@@ -377,15 +419,19 @@ let get_det nxe path =
     Hashtbl.replace nxe.det_reg path d;
     d
 
-let get_counter nxe path variant id =
-  let tbl =
-    match Hashtbl.find_opt nxe.cnt_reg (path, variant) with
-    | Some t -> t
-    | None ->
-      let t = Hashtbl.create 4 in
-      Hashtbl.replace nxe.cnt_reg (path, variant) t;
-      t
-  in
+(* Counter interning: the (proc path, variant) -> table lookup — a tuple
+   allocation plus a string hash — happens once per thread at executor
+   entry; per-op access is then an int-keyed lookup on the resolved
+   table. *)
+let counter_table nxe path variant =
+  match Hashtbl.find_opt nxe.cnt_reg (path, variant) with
+  | Some t -> t
+  | None ->
+    let t = Hashtbl.create 4 in
+    Hashtbl.replace nxe.cnt_reg (path, variant) t;
+    t
+
+let counter_ref (tbl : (int, int64 ref) Hashtbl.t) id =
   match Hashtbl.find_opt tbl id with
   | Some r -> r
   | None ->
@@ -427,7 +473,9 @@ let min_live_cursor chan =
     chan.cursors;
   if !best = max_int then chan.leader_pos else !best
 
-let wake_followers nxe chan = Array.iter (M.Waitq.broadcast nxe.machine) chan.fol_q
+(* One leader publish releases every parked follower as a single batched
+   scheduler operation (same wake order as per-queue broadcasts). *)
+let wake_followers nxe chan = M.Waitq.broadcast_many nxe.machine chan.fol_q
 
 (* ------------------------------------------------------------------ *)
 (* Fault handling: benign-death / missed-heartbeat verdicts, quarantine,
@@ -454,8 +502,8 @@ let vote_at chan ~pos v =
     let passed = if v = 0 then chan.leader_pos > pos else chan.cursors.(v - 1) > pos in
     let exited = if v = 0 then chan.leader_done else chan.fol_done.(v - 1) in
     if passed then
-      if pos < Vec.length chan.slots then begin
-        let sc = (Vec.get chan.slots pos).s_sc in
+      if pos < chan.sl_len then begin
+        let sc = chan.sl_sc.(pos) in
         (* Evicted from the tape: the slot stream still knows what was
            issued there, just not when. *)
         F.Issued { F.r_pos = pos; r_name = sc.Sc.name; r_args = sc.Sc.args; r_time = 0.0 }
@@ -484,8 +532,7 @@ let fault_site nxe variant =
   (c, pos)
 
 let expected_at chan pos =
-  if pos < Vec.length chan.slots then
-    Format.asprintf "%a" Sc.pp (Vec.get chan.slots pos).s_sc
+  if pos < chan.sl_len then Format.asprintf "%a" Sc.pp chan.sl_sc.(pos)
   else "<heartbeat>"
 
 let cancel_variant nxe variant =
@@ -637,7 +684,7 @@ let apply_faults nxe ~variant sc =
                   (fun ai a -> if ai = c_arg then Int64.add a c_delta else a)
                   (!sc).Sc.args
               in
-              sc := Sc.make ~args (!sc).Sc.name
+              sc := Sc.with_args !sc args
             end)
       nxe.faults;
     !sc
@@ -654,16 +701,17 @@ let leader_sync nxe chan sc =
    | None -> ());
   ph_compute m Pr.Phase.Publish nxe.cfg.checkin_cost;
   let pos = chan.leader_pos in
-  Vec.push chan.slots
-    {
-      s_sc = sc;
-      s_ready = false;
-      s_arrived = 0;
-      s_first_arrival = M.now m;
-      s_last_arrival = M.now m;
-      s_last_variant = 0;
-    };
-  F.Tape.record chan.tapes.(0) ~pos ~time:(M.now m) sc;
+  ensure_slot chan;
+  let publish_now = M.now m in
+  chan.sl_sc.(pos) <- sc;
+  chan.sl_ready.(pos) <- false;
+  chan.sl_arrived.(pos) <- 0;
+  chan.sl_first.(pos) <- publish_now;
+  chan.sl_last.(pos) <- publish_now;
+  chan.sl_lastv.(pos) <- 0;
+  chan.sl_sigdel.(pos) <- sc.Sc.name = "signal_delivery";
+  chan.sl_len <- pos + 1;
+  F.Tape.record chan.tapes.(0) ~pos ~time:publish_now sc;
   touch nxe 0;
   chan.leader_pos <- pos + 1;
   nxe.synced <- nxe.synced + 1;
@@ -675,7 +723,6 @@ let leader_sync nxe chan sc =
     if gap > nxe.gap_max then nxe.gap_max <- gap
   end;
   wake_followers nxe chan;
-  let slot = Vec.get chan.slots pos in
   let lockstep = nxe.cfg.mode = Strict_lockstep || Sc.is_lockstep_selected sc in
   let blocked = ref false in
   let wait_from = M.now m in
@@ -683,49 +730,49 @@ let leader_sync nxe chan sc =
     nxe.locksteps <- nxe.locksteps + 1;
     (match nxe.tel with Some tel -> Tel.Counter.incr tel.t_locksteps | None -> ());
     (* Execute only after every live follower has arrived and agreed. *)
-    let rec wait_arrivals () =
-      if aborted nxe then ()
+    let waiting = ref true in
+    while !waiting do
+      if aborted nxe then waiting := false
       else begin
         (* A follower that already exited can never arrive: sequence
            divergence (it saw fewer syscalls than the leader).  A
            quarantined follower is excused — its retirement is benign. *)
-        Array.iteri
-          (fun i d ->
-            if d && (not nxe.v_quarantined.(i + 1)) && chan.cursors.(i) <= pos then
-              fail nxe
-                {
-                  al_channel = chan.ch_id;
-                  al_position = pos;
-                  al_variant = i + 1;
-                  al_expected = sc.Sc.name;
-                  al_got = "<exit>";
-                  al_expected_sc = Some sc;
-                  al_got_sc = None;
-                })
-          chan.fol_done;
-        if (not (aborted nxe)) && slot.s_arrived < live_followers chan then begin
+        for i = 0 to Array.length chan.fol_done - 1 do
+          if chan.fol_done.(i) && (not nxe.v_quarantined.(i + 1)) && chan.cursors.(i) <= pos
+          then
+            fail nxe
+              {
+                al_channel = chan.ch_id;
+                al_position = pos;
+                al_variant = i + 1;
+                al_expected = sc.Sc.name;
+                al_got = "<exit>";
+                al_expected_sc = Some sc;
+                al_got_sc = None;
+              }
+        done;
+        if (not (aborted nxe)) && chan.sl_arrived.(pos) < live_followers chan then begin
           blocked := true;
-          nxe_wait nxe ~variant:0 chan.leader_q;
-          wait_arrivals ()
+          nxe_wait nxe ~variant:0 chan.leader_q
         end
+        else waiting := false
       end
-    in
-    wait_arrivals ();
+    done;
     (* Rendezvous complete: every live follower has checked in, so the
        slot's arrival scalars are final — name the straggler. *)
     if not (aborted nxe) then begin
-      let wait = Float.max 0.0 (slot.s_last_arrival -. slot.s_first_arrival) in
+      let wait = Float.max 0.0 (chan.sl_last.(pos) -. chan.sl_first.(pos)) in
       (match nxe.profile with
        | Some c ->
          Pr.Collector.record c ~chan:chan.ch_id ~pos ~time:(M.now m)
-           ~straggler:slot.s_last_variant ~wait
+           ~straggler:chan.sl_lastv.(pos) ~wait
        | None -> ());
       match nxe.tel with
       | Some tel when wait > 0.0 ->
         Tel.instant tel.t_dom ~tid
           ~args:
             [
-              ("straggler", string_of_int slot.s_last_variant);
+              ("straggler", string_of_int chan.sl_lastv.(pos));
               ("wait_us", Printf.sprintf "%.3f" wait);
             ]
           ~ts:(M.now m) ~cat:"nxe" "straggler"
@@ -743,7 +790,7 @@ let leader_sync nxe chan sc =
   if !blocked && not (aborted nxe) then ph_compute m Pr.Phase.Resched nxe.cfg.resched_cost;
   if not (aborted nxe) then begin
     ph_compute m Pr.Phase.Syscall_service (Sc.base_cost sc);
-    slot.s_ready <- true;
+    chan.sl_ready.(pos) <- true;
     nxe.executed <- nxe.executed + 1;
     touch nxe 0;
     (match nxe.tel with
@@ -773,15 +820,15 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
   if aborted nxe then ()
   else if
     (* An asynchronous signal the leader took at this point: consume the
-       delivery slot, run the handler at the equivalent position, retry. *)
+       delivery slot, run the handler at the equivalent position, retry.
+       The marker test is a cached bool stamped at publish time. *)
     chan.leader_pos > pos
-    && (Vec.get chan.slots pos).s_sc.Sc.name = "signal_delivery"
+    && chan.sl_sigdel.(pos)
     && sc.Sc.name <> "signal_delivery"
   then begin
-    let slot = Vec.get chan.slots pos in
-    slot.s_arrived <- slot.s_arrived + 1;
+    chan.sl_arrived.(pos) <- chan.sl_arrived.(pos) + 1;
     M.Waitq.signal m chan.leader_q;
-    while (not (aborted nxe)) && not slot.s_ready do
+    while (not (aborted nxe)) && not chan.sl_ready.(pos) do
       nxe_wait nxe ~variant chan.fol_q.(i)
     done;
     if not (aborted nxe) then begin
@@ -789,7 +836,7 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
       chan.cursors.(i) <- pos + 1;
       touch nxe variant;
       M.Waitq.signal m chan.leader_q;
-      (match slot.s_sc.Sc.args with
+      (match chan.sl_sc.(pos).Sc.args with
        | [ idx ] when Int64.to_int idx < Array.length nxe.signal_handlers ->
          on_signal nxe.signal_handlers.(Int64.to_int idx)
        | _ -> ());
@@ -811,27 +858,27 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
       }
   end
   else begin
-    let slot = Vec.get chan.slots pos in
+    let exp_sc = chan.sl_sc.(pos) in
     F.Tape.record chan.tapes.(variant) ~pos ~time:(M.now m) sc;
-    if not (Sc.args_match slot.s_sc sc) then
+    if not (Sc.args_match exp_sc sc) then
       fail nxe
         {
           al_channel = chan.ch_id;
           al_position = pos;
           al_variant = variant;
-          al_expected = Format.asprintf "%a" Sc.pp slot.s_sc;
+          al_expected = Format.asprintf "%a" Sc.pp exp_sc;
           al_got = Format.asprintf "%a" Sc.pp sc;
-          al_expected_sc = Some slot.s_sc;
+          al_expected_sc = Some exp_sc;
           al_got_sc = Some sc;
         }
     else begin
-      slot.s_arrived <- slot.s_arrived + 1;
+      chan.sl_arrived.(pos) <- chan.sl_arrived.(pos) + 1;
       (* Arrival time is when the follower reached the sync point (before
          any blocking), so straggler attribution reflects who was late. *)
-      if wait_from < slot.s_first_arrival then slot.s_first_arrival <- wait_from;
-      if wait_from >= slot.s_last_arrival then begin
-        slot.s_last_arrival <- wait_from;
-        slot.s_last_variant <- variant
+      if wait_from < chan.sl_first.(pos) then chan.sl_first.(pos) <- wait_from;
+      if wait_from >= chan.sl_last.(pos) then begin
+        chan.sl_last.(pos) <- wait_from;
+        chan.sl_lastv.(pos) <- variant
       end;
       (match nxe.tel with
        | Some tel ->
@@ -841,7 +888,7 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
       M.Waitq.signal m chan.leader_q;
       let blocked = ref false in
       let ready_from = M.now m in
-      while (not (aborted nxe)) && not slot.s_ready do
+      while (not (aborted nxe)) && not chan.sl_ready.(pos) do
         blocked := true;
         nxe_wait nxe ~variant chan.fol_q.(i)
       done;
@@ -892,9 +939,9 @@ let follower_shared_fetch nxe chan ~variant ~pos dst =
         al_got_sc = None;
       }
   else begin
-    let slot = Vec.get chan.slots pos in
-    F.Tape.record chan.tapes.(variant) ~pos ~time:(M.now m) slot.s_sc;
-    (match slot.s_sc.Sc.args with
+    let exp_sc = chan.sl_sc.(pos) in
+    F.Tape.record chan.tapes.(variant) ~pos ~time:(M.now m) exp_sc;
+    (match exp_sc.Sc.args with
      | [ _; content ] -> dst := content
      | _ ->
        fail nxe
@@ -902,22 +949,22 @@ let follower_shared_fetch nxe chan ~variant ~pos dst =
            al_channel = chan.ch_id;
            al_position = pos;
            al_variant = variant;
-           al_expected = Format.asprintf "%a" Sc.pp slot.s_sc;
+           al_expected = Format.asprintf "%a" Sc.pp exp_sc;
            al_got = "shared-memory access";
-           al_expected_sc = Some slot.s_sc;
+           al_expected_sc = Some exp_sc;
            al_got_sc = None;
          });
     if not (aborted nxe) then begin
-      slot.s_arrived <- slot.s_arrived + 1;
-      if wait_from < slot.s_first_arrival then slot.s_first_arrival <- wait_from;
-      if wait_from >= slot.s_last_arrival then begin
-        slot.s_last_arrival <- wait_from;
-        slot.s_last_variant <- variant
+      chan.sl_arrived.(pos) <- chan.sl_arrived.(pos) + 1;
+      if wait_from < chan.sl_first.(pos) then chan.sl_first.(pos) <- wait_from;
+      if wait_from >= chan.sl_last.(pos) then begin
+        chan.sl_last.(pos) <- wait_from;
+        chan.sl_lastv.(pos) <- variant
       end;
       M.Waitq.signal m chan.leader_q;
       let blocked2 = ref !blocked in
       let ready_from = M.now m in
-      while (not (aborted nxe)) && not slot.s_ready do
+      while (not (aborted nxe)) && not chan.sl_ready.(pos) do
         blocked2 := true;
         nxe_wait nxe ~variant chan.fol_q.(i)
       done;
@@ -938,21 +985,25 @@ let follower_shared_fetch nxe chan ~variant ~pos dst =
 let det_order_op nxe det ~variant ~chan =
   if nxe.cfg.weak_determinism then begin
     let m = nxe.machine in
-    let ltid = chan.ch_path in
+    (* The logical-thread id is the interned channel id: paths are unique
+       per channel, so the int comparison below is exactly the old string
+       comparison. *)
+    let ltid = chan.ch_id in
     ph_compute m Pr.Phase.Synccall nxe.cfg.synccall_cost;
     if variant = 0 then begin
       Vec.push det.d_order ltid;
       nxe.order_len <- nxe.order_len + 1;
       touch nxe 0;
-      Array.iter (M.Waitq.broadcast m) det.d_qs
+      M.Waitq.broadcast_many m det.d_qs
     end
     else begin
       let i = variant - 1 in
-      let my_turn () =
-        det.d_cursors.(i) < Vec.length det.d_order
-        && Vec.get det.d_order det.d_cursors.(i) = ltid
-      in
-      while (not (aborted nxe)) && not (my_turn ()) do
+      while
+        (not (aborted nxe))
+        && not
+             (det.d_cursors.(i) < Vec.length det.d_order
+             && Vec.get det.d_order det.d_cursors.(i) = ltid)
+      do
         nxe_wait nxe ~variant det.d_qs.(i)
       done;
       if not (aborted nxe) then begin
@@ -989,18 +1040,19 @@ let rec run_handler nxe ~variant ~chan ops =
     ops
 
 and deliver_due_signals nxe ~chan =
-  (* Root channel, leader side only. *)
-  if chan.ch_path = "c" then begin
-    let now = M.now nxe.machine in
-    match nxe.pending_signals with
-    | (t, idx) :: rest when t <= now ->
+  (* Root channel, leader side only.  The pending-list emptiness test goes
+     first — it is the common case — and the root test is the interned id
+     (the root channel is always registered first, so its id is 0). *)
+  match nxe.pending_signals with
+  | [] -> ()
+  | (t, idx) :: rest ->
+    if chan.ch_id = 0 && t <= M.now nxe.machine then begin
       nxe.pending_signals <- rest;
-      leader_sync nxe chan (Sc.make ~args:[ Int64.of_int idx ] "signal_delivery");
+      leader_sync nxe chan (Sc.with_args sc_signal_delivery [ Int64.of_int idx ]);
       if idx < Array.length nxe.signal_handlers then
         run_handler nxe ~variant:0 ~chan nxe.signal_handlers.(idx);
       deliver_due_signals nxe ~chan
-    | _ -> ()
-  end
+    end
 
 and do_sys nxe ~variant ~chan sc =
   let sc = apply_faults nxe ~variant sc in
@@ -1022,6 +1074,9 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
   let in_main = ref in_main_init in
   let spawn_count = ref 0 in
   let fork_count = ref 0 in
+  (* Resolved once per thread: shared-counter ops below touch only the
+     int-keyed table, never the string-keyed registry. *)
+  let cnts = counter_table nxe ppath variant in
   List.iter
     (fun op ->
       if (not (aborted nxe)) && not nxe.v_dead.(variant) then
@@ -1037,11 +1092,11 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
           (* An unguarded shared write: the interleaving across this
              variant's threads decides the value later syscalls expose. *)
           M.compute m 0.05;
-          let r = get_counter nxe ppath variant id in
+          let r = counter_ref cnts id in
           r := Int64.add !r 1L
         | Trace.Sys_shared (sc, id) ->
-          let v = !(get_counter nxe ppath variant id) in
-          let sc = Sc.make ~args:(sc.Sc.args @ [ v ]) sc.Sc.name in
+          let v = !(counter_ref cnts id) in
+          let sc = Sc.with_args sc (sc.Sc.args @ [ v ]) in
           if !in_main && Sc.is_synchronized sc then do_sys nxe ~variant ~chan sc
           else ph_compute m Pr.Phase.Syscall_service (Sc.base_cost sc)
         | Trace.Shared_read { region; counter } ->
@@ -1051,14 +1106,14 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
              leader -> followers like a syscall result; otherwise the
              follower reads its stale local copy. *)
           M.compute m 2.0 (* page-fault / access cost *);
-          let dst = get_counter nxe ppath variant counter in
+          let dst = counter_ref cnts counter in
           if variant = 0 then begin
-            let reads = get_counter nxe ppath variant (1000 + region) in
+            let reads = counter_ref cnts (1000 + region) in
             reads := Int64.add !reads 1L;
             let world = Int64.add (Int64.mul !reads 7L) (Int64.of_int region) in
             dst := world;
             if nxe.cfg.sync_shared_memory then
-              leader_sync nxe chan (Sc.make ~args:[ Int64.of_int region; world ] "synccall")
+              leader_sync nxe chan (Sc.with_args sc_synccall [ Int64.of_int region; world ])
           end
           else if nxe.cfg.sync_shared_memory then begin
             (* Consume the leader's slot; adopt its content instead of
@@ -1077,7 +1132,7 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
         | Trace.Spawn sub ->
           let k = !spawn_count in
           incr spawn_count;
-          ph_compute m Pr.Phase.Syscall_service (Sc.base_cost (Sc.clone_thread ()));
+          ph_compute m Pr.Phase.Syscall_service sc_clone_cost;
           let child = get_chan nxe (Printf.sprintf "%s/s%d" chan.ch_path k) in
           (match nxe.tel with
            | Some tel ->
@@ -1093,7 +1148,7 @@ let rec exec_ops nxe ~variant ~chan ~ppath ~proc ~pth ~det ~in_main_init ops () 
         | Trace.Fork sub ->
           let k = !fork_count in
           incr fork_count;
-          ph_compute m Pr.Phase.Syscall_service (Sc.base_cost (Sc.fork ()));
+          ph_compute m Pr.Phase.Syscall_service sc_fork_cost;
           (* The child of the leader becomes the leader of the new execution
              group; followers' children become its followers (§3.3). *)
           let cpath = Printf.sprintf "%s/f%d" ppath k in
@@ -1174,6 +1229,12 @@ let run_traces ?(config = default_config) ?machine_config ?on_machine ?working_s
     ];
   if config.recorder_depth < 1 then
     invalid_arg "Nxe.run_traces: recorder_depth must be >= 1";
+  (* Capacity 0 would demand a slot be consumed before its publish returns,
+     but followers only consume released slots — a guaranteed deadlock in
+     selective mode, so reject it loudly instead.  Capacity 1 is the
+     tightest legal ring: one unconsumed slot in flight (see the .mli). *)
+  if config.ring_capacity < 1 then
+    invalid_arg "Nxe.run_traces: ring_capacity must be >= 1";
   let working_sets =
     match working_sets with
     | Some ws ->

@@ -67,7 +67,16 @@ val default_policy : fault_policy
 
 type config = {
   mode : mode;
-  ring_capacity : int;      (** slots a leader may run ahead (selective) *)
+  ring_capacity : int;
+      (** slots the leader may have published-but-unconsumed in selective
+          mode.  Must be ≥ 1: the leader releases a slot only after its
+          run-ahead check, and followers only consume released slots, so
+          capacity 0 would deadlock on the first non-lockstep syscall and
+          is rejected at [run_*] entry.  Capacity 1 is the tightest legal
+          ring — the leader publishes slot [p] and stalls until every live
+          follower has consumed slot [p-1], giving at most one slot of
+          run-ahead (it still beats strict lockstep: followers need not
+          have {e arrived} at [p] before the leader executes it). *)
   checkin_cost : float;     (** µs to publish args/results into a slot *)
   fetch_cost : float;       (** µs for a follower to consume a slot *)
   synccall_cost : float;    (** µs per weak-determinism ordering operation *)
@@ -228,9 +237,10 @@ val run_traces :
     it ends.  Attaching one is pure observation — the report is
     bit-identical with and without it.
     @raise Invalid_argument if any [config] cost is negative or non-finite,
-    if the heartbeat timeout or backoff is invalid, if an injection names a
-    variant out of range, if [coverage] has the wrong length, or if
-    [profile] was created for a different variant count. *)
+    if [ring_capacity < 1] or [recorder_depth < 1], if the heartbeat
+    timeout or backoff is invalid, if an injection names a variant out of
+    range, if [coverage] has the wrong length, or if [profile] was created
+    for a different variant count. *)
 
 val run_builds :
   ?config:config ->

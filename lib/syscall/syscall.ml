@@ -86,17 +86,23 @@ let table =
     ("synccall", -1, Sync); (* Bunshin's own locking-order syscall (§4.2) *)
   ]
 
-let classify name =
-  match List.assoc_opt name (List.map (fun (n, _, k) -> (n, k)) table) with
-  | Some k -> k
-  | None -> Info
-
-let number_of name =
+let lookup name =
   match List.find_opt (fun (n, _, _) -> n = name) table with
-  | Some (_, num, _) -> num
-  | None -> -1
+  | Some (_, num, k) -> (num, k)
+  | None -> (-1, Info)
 
-let make ?(args = []) name = { name; number = number_of name; klass = classify name; args }
+let classify name = snd (lookup name)
+let number_of name = fst (lookup name)
+
+let make ?(args = []) name =
+  let number, klass = lookup name in
+  { name; number; klass; args }
+
+(* Same syscall, different argument values: reuses the classification done
+   at [make] time instead of re-scanning the table — the identity every
+   hot-path caller that rewrites arguments (shared-memory results, fault
+   corruption) should use. *)
+let with_args t args = { t with args }
 
 let is_lockstep_selected t =
   match t.klass with
@@ -115,7 +121,17 @@ let is_synchronized t =
   | Virtual | Memory -> false
   | Io_read | Io_write | File_meta | Process | Thread | Sync | Signal | Time | Info -> true
 
-let args_match a b = a.name = b.name && a.args = b.args
+(* Argument agreement is the divergence-detection hot path: short-circuit
+   on physical equality (variants fed from a shared trace present the very
+   same record) and compare the args with a monomorphic Int64 loop rather
+   than polymorphic equality. *)
+let rec args_eq a b =
+  match (a, b) with
+  | [], [] -> true
+  | x :: a', y :: b' -> Int64.equal x y && args_eq a' b'
+  | _ -> false
+
+let args_match a b = a == b || (a.name = b.name && args_eq a.args b.args)
 
 let base_cost t =
   match t.klass with

@@ -37,6 +37,11 @@ val make : ?args:int64 list -> string -> t
 (** Build a syscall record, classifying and numbering by name.  Names use
     the kernel spelling ([write], [mmap], ...). *)
 
+val with_args : t -> int64 list -> t
+(** Same syscall with different argument values, reusing the name-based
+    classification already paid for by {!make} — use this on hot paths
+    that rewrite arguments instead of rebuilding from the name. *)
+
 val is_lockstep_selected : t -> bool
 (** True for the syscalls the selective-lockstep mode still synchronizes
     strictly: the write-flavoured IO calls through which information leaks

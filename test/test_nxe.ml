@@ -272,6 +272,41 @@ let test_ring_capacity_bounds_gap () =
     (Printf.sprintf "gap %d <= 5" r.Nxe.max_syscall_gap)
     true (r.Nxe.max_syscall_gap <= 5)
 
+let test_ring_capacity_validated () =
+  (* Capacity <= 0 would deadlock on the first non-lockstep syscall
+     (followers only consume released slots); it must be rejected at
+     entry, not discovered as a hang. *)
+  List.iter
+    (fun cap ->
+      List.iter
+        (fun base ->
+          Alcotest.check_raises
+            (Printf.sprintf "capacity %d rejected" cap)
+            (Invalid_argument "Nxe.run_traces: ring_capacity must be >= 1")
+            (fun () ->
+              ignore
+                (Nxe.run_traces
+                   ~config:{ base with Nxe.ring_capacity = cap }
+                   ~names:(names 2)
+                   [ basic_trace (); basic_trace () ])))
+        [ Nxe.default_config; Nxe.selective ])
+    [ 0; -3 ]
+
+let test_capacity_one_tightest_ring () =
+  (* Capacity 1: at most one unconsumed slot in flight.  The run-ahead gap
+     sampled at publish can reach 2 (the just-published slot plus the one
+     being consumed) but never beyond, and the group still finishes. *)
+  let r =
+    Nxe.run_traces
+      ~config:{ Nxe.selective with ring_capacity = 1 }
+      ~names:(names 2) (asymmetric_traces ())
+  in
+  Alcotest.(check bool) "finished" true (finished r);
+  Alcotest.(check bool)
+    (Printf.sprintf "gap %d <= 2" r.Nxe.max_syscall_gap)
+    true
+    (r.Nxe.max_syscall_gap <= 2)
+
 let test_strict_mode_keeps_slow_follower_close () =
   (* In strict mode the same asymmetric pair never drifts. *)
   let r = Nxe.run_traces ~config:Nxe.default_config ~names:(names 2) (asymmetric_traces ()) in
@@ -443,6 +478,44 @@ let prop_divergent_args_always_alert =
       in
       match r.Nxe.outcome with `Aborted a -> a.Nxe.al_position = pos | `All_finished -> false)
 
+(* Strict and selective lockstep must reach the same divergence verdict on
+   the same traces (first slice of the protocol-invariant work, ROADMAP
+   item 5): selective mode changes WHEN the leader may run ahead, never
+   WHAT counts as a divergence, so an injected argument mutation aborts
+   both modes at the same (channel, position, variant) — and a clean
+   corpus aborts neither. *)
+let mutate_kth_syscall ~k ~delta trace =
+  let seen = ref 0 in
+  List.map
+    (function
+      | Trace.Sys sc when sc.Sc.args <> [] ->
+        let here = !seen in
+        incr seen;
+        if here = k then
+          let args =
+            match sc.Sc.args with a :: x :: rest -> a :: Int64.add x delta :: rest | l -> l
+          in
+          Trace.Sys (Sc.make ~args sc.Sc.name)
+        else Trace.Sys sc
+      | op -> op)
+    trace
+
+let verdict r =
+  match r.Nxe.outcome with
+  | `All_finished -> None
+  | `Aborted a -> Some (a.Nxe.al_channel, a.Nxe.al_position, a.Nxe.al_variant)
+
+let prop_strict_selective_same_verdict =
+  QCheck.Test.make ~name:"nxe: strict and selective agree on the verdict" ~count:60
+    QCheck.(triple (QCheck.make gen_trace_ops) (int_range 0 20) bool)
+    (fun (ops, k, clean) ->
+      let base = trace_of_ops ops in
+      let follower = if clean then base else mutate_kth_syscall ~k ~delta:500L base in
+      let run cfg = Nxe.run_traces ~config:cfg ~names:(names 2) [ base; follower ] in
+      let s = verdict (run Nxe.default_config) in
+      let l = verdict (run Nxe.selective) in
+      s = l)
+
 let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
 
 let () =
@@ -482,6 +555,8 @@ let () =
           Alcotest.test_case "strict gap <= 1" `Quick test_strict_gap_at_most_one;
           Alcotest.test_case "selective gap grows" `Quick test_selective_gap_can_grow;
           Alcotest.test_case "capacity bounds gap" `Quick test_ring_capacity_bounds_gap;
+          Alcotest.test_case "capacity <= 0 rejected" `Quick test_ring_capacity_validated;
+          Alcotest.test_case "capacity 1 tightest ring" `Quick test_capacity_one_tightest_ring;
           Alcotest.test_case "strict keeps follower close" `Quick test_strict_mode_keeps_slow_follower_close;
         ] );
       ( "groups",
@@ -503,5 +578,6 @@ let () =
             prop_divergent_args_always_alert;
             prop_random_traces_identical_clean;
             prop_random_threaded_traces_clean;
+            prop_strict_selective_same_verdict;
           ] );
     ]
