@@ -1117,6 +1117,205 @@ let nxe_data () =
 let nxe_section () = write_bench_json "BENCH_nxe.json" (nxe_data ())
 
 (* ------------------------------------------------------------------ *)
+(* Distributed NXE: the DMON / dMVX trade-off curve — bytes on the wire
+   and run-time overhead of naive full-remote-lockstep vs selective
+   cross-checking vs selective + local result replication, at 2-4 nodes.
+   Everything in this section is simulated (wire bytes, message counts,
+   simulated wall time): one seed, one bit-stable schedule, so the gate
+   pins the whole table tightly.  The overhead column is the distributed
+   run's simulated wall time against the same fleet packed onto a single
+   node (no wire). *)
+
+let net_modes =
+  [
+    ("naive", Cluster.Full_remote_lockstep);
+    ("sel", Cluster.Selective);
+    ("repl", Cluster.Selective_replicated);
+  ]
+
+let net_run ~variants ~nodes ~ship mk_trace =
+  let traces = List.init variants (fun _ -> mk_trace ()) in
+  let names = List.mapi (fun i _ -> Printf.sprintf "v%d" i) traces in
+  let config = { Cluster.default_config with nodes; ship } in
+  let run1 () = Cluster.run_traces ~config ~names traces in
+  let r = run1 () in
+  (match r.Cluster.outcome with
+   | `All_finished -> ()
+   | `Aborted _ ->
+     Printf.eprintf "net bench: workload aborted (false divergence)\n";
+     exit 1);
+  let r2 = run1 () in
+  if
+    r2.Cluster.bytes_on_wire <> r.Cluster.bytes_on_wire
+    || r2.Cluster.msgs_on_wire <> r.Cluster.msgs_on_wire
+    || r2.Cluster.total_time <> r.Cluster.total_time
+  then begin
+    Printf.eprintf "net bench: non-deterministic run (%d vs %d bytes on wire)\n"
+      r2.Cluster.bytes_on_wire r.Cluster.bytes_on_wire;
+    exit 1
+  end;
+  r
+
+(* Verdict parity: the same injected argument divergence must produce a
+   structurally identical alert in all three ship modes and in the local
+   engine, and the filed incidents must agree once wall times are
+   stripped — this is the acceptance bar for remote cross-checking. *)
+let net_verdict_parity () =
+  let mk rogue =
+    List.concat
+      (List.init 12 (fun i ->
+           [
+             Trace.Work { func = "serve"; cost = 5.0 };
+             Trace.Sys
+               (Syscall.write
+                  ~args:[ 1L; (if rogue && i = 7 then 999L else Int64.of_int i) ]
+                  ());
+           ]))
+  in
+  let names = [ "v0"; "v1" ] in
+  let traces = [ mk false; mk true ] in
+  let abort section = function
+    | `Aborted a -> a
+    | `All_finished ->
+      Printf.eprintf "net bench: injected divergence not detected (%s)\n" section;
+      exit 1
+  in
+  let verdicts =
+    List.map
+      (fun (mname, ship) ->
+        let config = { Cluster.default_config with nodes = 2; ship } in
+        let r = Cluster.run_traces ~config ~names traces in
+        ( mname,
+          abort mname r.Cluster.outcome,
+          Option.map Cluster.incident_signature r.Cluster.incident ))
+      net_modes
+  in
+  (match verdicts with
+   | (_, alert, sig0) :: rest ->
+     List.iter
+       (fun (mname, a, s) ->
+         if a <> alert || s <> sig0 then begin
+           Printf.eprintf "net bench: ship mode %s disagrees on the verdict\n" mname;
+           exit 1
+         end)
+       rest;
+     let local = Nxe.run_traces ~config:Nxe.default_config ~names traces in
+     if abort "local" local.Nxe.outcome <> alert then begin
+       Printf.eprintf "net bench: cluster verdict differs from the local engine\n";
+       exit 1
+     end;
+     Printf.printf
+       "verdict parity: argument divergence at pos %d blames v%d identically in all \
+        three modes and locally (incident signatures match)\n"
+       alert.Nxe.al_position alert.Nxe.al_variant
+   | [] -> ())
+
+let net_data () =
+  section "Distributed NXE: wire traffic vs overhead (naive / selective / +replication)";
+  let quick = !quick_mode in
+  let variants = 4 in
+  let bzip2_trace =
+    let b = Spec.find "bzip2" in
+    let t = Program.build_trace (Program.baseline b.Bench.prog) ~seed:E.ref_seed in
+    fun () -> t
+  in
+  let dense_trace =
+    let t = nxe_dense_trace () in
+    fun () -> t
+  in
+  let server_trace kind =
+    let bench =
+      Server.make kind ~file_kb:1 ~connections:64 ~requests:(if quick then 60 else 160)
+    in
+    let t = Program.build_trace (Program.baseline bench.Bench.prog) ~seed:E.ref_seed in
+    fun () -> t
+  in
+  let workloads =
+    [
+      ("bzip2", bzip2_trace);
+      ("bzip2_dense", dense_trace);
+      ("lighttpd", server_trace Server.Lighttpd);
+      ("nginx", server_trace Server.Nginx);
+    ]
+  in
+  let ns = if quick then [ 2; 3 ] else [ 2; 3; 4 ] in
+  let t =
+    Table.create
+      [
+        ("workload", Table.Left); ("nodes", Table.Right); ("mode", Table.Left);
+        ("synced", Table.Right); ("bytes", Table.Right); ("msgs", Table.Right);
+        ("vs naive", Table.Right); ("repl", Table.Right); ("sim us", Table.Right);
+        ("overhead", Table.Right);
+      ]
+  in
+  let suites = ref [] in
+  List.iter
+    (fun (wname, mk_trace) ->
+      let solo = net_run ~variants ~nodes:1 ~ship:Cluster.Selective_replicated mk_trace in
+      List.iter
+        (fun nodes ->
+          let naive_bytes = ref 0 in
+          List.iter
+            (fun (mname, ship) ->
+              let r = net_run ~variants ~nodes ~ship mk_trace in
+              if ship = Cluster.Full_remote_lockstep then
+                naive_bytes := r.Cluster.bytes_on_wire;
+              let reduction =
+                float_of_int !naive_bytes
+                /. float_of_int (max 1 r.Cluster.bytes_on_wire)
+              in
+              (* The dMVX claim this section exists to reproduce: on a
+                 syscall-dense read-mostly workload, selective checking
+                 plus local result replication must cut wire traffic by
+                 at least 5x against full remote lockstep. *)
+              if
+                wname = "bzip2_dense"
+                && ship = Cluster.Selective_replicated
+                && reduction < 5.0
+              then begin
+                Printf.eprintf
+                  "net bench: selective+replication only reduced dense wire bytes \
+                   %.1fx vs naive at %d nodes (need >= 5x)\n"
+                  reduction nodes;
+                exit 1
+              end;
+              let overhead =
+                100.0 *. ((r.Cluster.total_time /. solo.Cluster.total_time) -. 1.0)
+              in
+              Table.add_row t
+                [
+                  wname; string_of_int nodes; mname;
+                  string_of_int r.Cluster.synced_syscalls;
+                  string_of_int r.Cluster.bytes_on_wire;
+                  string_of_int r.Cluster.msgs_on_wire;
+                  (if ship = Cluster.Full_remote_lockstep then "-"
+                   else Printf.sprintf "%.1fx" reduction);
+                  string_of_int r.Cluster.replicated_results;
+                  Printf.sprintf "%.0f" r.Cluster.total_time;
+                  pct (overhead /. 100.0);
+                ];
+              suites :=
+                ( Printf.sprintf "%s_n%d_%s" wname nodes mname,
+                  [
+                    ("synced_syscalls", float_of_int r.Cluster.synced_syscalls);
+                    ("bytes_on_wire", float_of_int r.Cluster.bytes_on_wire);
+                    ("msgs_on_wire", float_of_int r.Cluster.msgs_on_wire);
+                    ("replicated_results", float_of_int r.Cluster.replicated_results);
+                    ("sim_total_time_us", r.Cluster.total_time);
+                    ("overhead_pct", overhead);
+                  ] )
+                :: !suites)
+            net_modes)
+        ns)
+    workloads;
+  Table.print t;
+  print_newline ();
+  net_verdict_parity ();
+  Gate.emit_json ~section:"net" ~quick (List.rev !suites)
+
+let net_section () = write_bench_json "BENCH_net.json" (net_data ())
+
+(* ------------------------------------------------------------------ *)
 (* Overhead attribution: the profiler's numbers are pure simulated-machine
    time, hence deterministic — the perf gate on this section uses tight
    thresholds and a committed baseline. *)
@@ -1216,6 +1415,18 @@ let gate_specs =
         Gate.threshold ~tolerance:0.01 "sim_total_time_us";
         Gate.threshold ~direction:Gate.Higher_is_better ~tolerance:0.6 "syncs_per_s";
         Gate.threshold ~tolerance:0.1 "minor_words_per_sync";
+      ] );
+    ( "net",
+      net_data,
+      [
+        (* Everything in the net section is simulated — bytes, message
+           counts and synced slots are exact integers of a bit-stable
+           schedule, pinned; the times carry only JSON rounding slack. *)
+        Gate.threshold ~tolerance:0.0 "synced_syscalls";
+        Gate.threshold ~tolerance:0.0 "bytes_on_wire";
+        Gate.threshold ~tolerance:0.0 "msgs_on_wire";
+        Gate.threshold ~tolerance:0.01 "sim_total_time_us";
+        Gate.threshold ~tolerance:0.01 "overhead_pct";
       ] );
   ]
 
@@ -1472,6 +1683,7 @@ let sections =
     ("interp", interp_section);
     ("profile", profile_section);
     ("nxe", nxe_section);
+    ("net", net_section);
   ]
 
 let () =

@@ -544,7 +544,14 @@ let trace_cmd =
       h;
     print_newline ()
   in
-  let run bench n config out metrics_file print_metrics =
+  let nodes_arg =
+    Arg.(value & opt int 1
+         & info [ "nodes" ] ~docv:"K"
+             ~doc:"Also run a distributed stage on K machine nodes — populates the \
+                   net.* wire counters and the net_rtt_us histogram in the metrics \
+                   export.")
+  in
+  let run bench n config nodes out metrics_file print_metrics =
     let sink = Telemetry.create () in
     let config = { config with Nxe.telemetry = Some sink } in
     (* Stage 1: the benchmark as N identical baseline builds under the NXE —
@@ -554,6 +561,21 @@ let trace_cmd =
     Printf.printf "bench stage: %s x%d, %.0f us, synced %d syscalls (%d locksteped)\n"
       bench.Bench.name n r.Nxe.total_time r.Nxe.synced_syscalls r.Nxe.lockstep_syscalls;
     List.iter print_hist r.Nxe.histograms;
+    (* Distributed stage: the same fleet spread over the requested nodes,
+       so the per-link wire counters land in the same sink. *)
+    if nodes > 1 then begin
+      let cconfig = { Cluster.default_config with nodes; telemetry = Some sink } in
+      let trace =
+        Program.build_trace (Program.baseline bench.Bench.prog) ~seed:Experiments.ref_seed
+      in
+      let names = List.init n (fun i -> Printf.sprintf "v%d" i) in
+      let cr = Cluster.run_traces ~config:cconfig ~names (List.init n (fun _ -> trace)) in
+      Printf.printf "cluster stage: %d nodes (%s), %.0f us, %d bytes in %d msgs on the wire\n"
+        nodes
+        (Cluster.mode_name cconfig.Cluster.ship)
+        cr.Cluster.total_time cr.Cluster.bytes_on_wire cr.Cluster.msgs_on_wire;
+      List.iter print_hist cr.Cluster.histograms
+    end;
     (* Stage 2: a full-stack IR run (sanitized CVE module, benign input,
        two variants) — populates the per-variant interp domains. *)
     (match Cve.cases with
@@ -590,8 +612,8 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Run a traced session and export a Chrome trace_event JSON (open in \
              chrome://tracing or Perfetto) plus a metrics dump.")
-    Term.(const run $ bench_arg $ n_arg $ lockstep_arg $ out_arg $ metrics_out_arg
-          $ metrics_flag)
+    Term.(const run $ bench_arg $ n_arg $ lockstep_arg $ nodes_arg $ out_arg
+          $ metrics_out_arg $ metrics_flag)
 
 let robustness_cmd =
   let run () =
@@ -715,6 +737,230 @@ let chaos_cmd =
     Term.(const run $ lockstep_arg $ n_arg $ seed_arg $ count_arg $ policy_arg
           $ heartbeat_arg $ json_arg)
 
+let cluster_cmd =
+  let bench_arg =
+    let find name =
+      match find_bench name with
+      | Ok b -> Ok b
+      | Error _ as e -> (
+        match name with
+        | "lighttpd" -> Ok (Server.make Server.Lighttpd ~file_kb:1 ~connections:16 ~requests:40)
+        | "nginx" -> Ok (Server.make Server.Nginx ~file_kb:1 ~connections:16 ~requests:40)
+        | _ -> e)
+    in
+    let bconv = Arg.conv ((fun s -> find s), fun fmt b -> Format.fprintf fmt "%s" b.Bench.name) in
+    let default = match find "bzip2" with Ok b -> b | Error _ -> assert false in
+    Arg.(value & pos 0 bconv default
+         & info [] ~docv:"BENCH" ~doc:"Benchmark name (also: lighttpd, nginx); default bzip2.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 2 & info [ "nodes" ] ~docv:"K" ~doc:"Number of machine nodes.")
+  in
+  let ship_conv =
+    Arg.conv
+      ( (function
+         | "naive" -> Ok Cluster.Full_remote_lockstep
+         | "selective" -> Ok Cluster.Selective
+         | "replicated" -> Ok Cluster.Selective_replicated
+         | s -> Error (`Msg ("unknown ship mode " ^ s))),
+        fun fmt s -> Format.fprintf fmt "%s" (Cluster.mode_name s) )
+  in
+  let ship_arg =
+    Arg.(value & opt ship_conv Cluster.Selective_replicated
+         & info [ "ship" ]
+             ~doc:"Remote cross-checking mode: naive (every slot round-trips with raw \
+                   buffers), selective (only security-sensitive syscalls round-trip), \
+                   replicated (selective + read results served from the local replica).")
+  in
+  let compare_flag =
+    Arg.(value & flag
+         & info [ "compare" ]
+             ~doc:"Run all three ship modes and check they agree bit-for-bit on the \
+                   divergence verdict and incident signature.")
+  in
+  let diverge_arg =
+    Arg.(value & opt (some int) None
+         & info [ "diverge" ] ~docv:"K"
+             ~doc:"Perturb the last variant's K-th syscall argument — an injected \
+                   compromise the remote check must catch.")
+  in
+  let chaos_arg =
+    Arg.(value & opt (some int) None
+         & info [ "chaos" ] ~docv:"SEED"
+             ~doc:"Inject a seeded deterministic fault plan (stalls, benign deaths, \
+                   delays, corruptions).")
+  in
+  let policy_arg =
+    let cluster_policy_conv =
+      Arg.conv
+        ( (function
+           | "abort" -> Ok Nxe.Abort_on_fault
+           | "quarantine" -> Ok Nxe.Quarantine
+           | s -> Error (`Msg ("unknown policy " ^ s ^ " (clusters support abort, quarantine)"))),
+          fun fmt p ->
+            Format.fprintf fmt "%s"
+              (match p with Nxe.Quarantine -> "quarantine" | _ -> "abort") )
+    in
+    Arg.(value & opt cluster_policy_conv Nxe.Quarantine
+         & info [ "policy" ] ~doc:"Benign-fault recovery on faults: abort or quarantine.")
+  in
+  let heartbeat_arg =
+    Arg.(value & opt float 5000.0
+         & info [ "heartbeat" ] ~docv:"US"
+             ~doc:"Watchdog heartbeat timeout in machine-µs — must exceed the \
+                   workload's longest syscall-free compute stretch.")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit incidents as JSON.") in
+  let status_str = function
+    | Nxe.Healthy -> "healthy"
+    | Nxe.Quarantined { q_time; q_cause; q_restarts } ->
+      Printf.sprintf "QUARANTINED at %.1fus (%s, %d restarts)" q_time
+        (Nxe.cause_string q_cause) q_restarts
+    | Nxe.Recovered { q_time; q_cause; r_time } ->
+      Printf.sprintf "recovered at %.1fus (quarantined %.1fus, %s)" r_time q_time
+        (Nxe.cause_string q_cause)
+  in
+  let mutate_kth_syscall ~k trace =
+    let seen = ref 0 in
+    List.map
+      (function
+        | Trace.Sys sc when sc.Syscall.args <> [] ->
+          let here = !seen in
+          incr seen;
+          if here = k then
+            let args =
+              match sc.Syscall.args with
+              | a :: x :: rest -> a :: Int64.add x 500L :: rest
+              | l -> l
+            in
+            Trace.Sys (Syscall.make ~args sc.Syscall.name)
+          else Trace.Sys sc
+        | op -> op)
+      trace
+  in
+  let report_one ~names ~syscalls ~json r =
+    (match r.Cluster.outcome with
+     | `All_finished ->
+       Printf.printf "outcome: all finished in %.1fus (%d/%d syscalls executed)\n"
+         r.Cluster.total_time r.Cluster.executed_syscalls syscalls
+     | `Aborted a ->
+       Printf.printf "outcome: ABORTED blaming v%d at channel %d pos %d (expected %s, got %s)\n"
+         a.Nxe.al_variant a.Nxe.al_channel a.Nxe.al_position a.Nxe.al_expected a.Nxe.al_got);
+    Printf.printf "placement:";
+    List.iteri (fun v node -> Printf.printf " v%d->n%d" v node) r.Cluster.placement;
+    print_newline ();
+    List.iteri
+      (fun i s -> Printf.printf "  %-4s %s\n" (List.nth names i) (status_str s))
+      r.Cluster.variant_status;
+    (match r.Cluster.coverage_loss with
+     | [] -> ()
+     | lost -> Printf.printf "coverage loss: %s\n" (String.concat ", " lost));
+    Printf.printf
+      "synced %d syscalls (%d locksteped, %d remote-checked, %d results replicated)\n"
+      r.Cluster.synced_syscalls r.Cluster.lockstep_syscalls r.Cluster.remote_checked
+      r.Cluster.replicated_results;
+    let tf = r.Cluster.traffic in
+    Printf.printf "wire: %d bytes in %d msgs\n" r.Cluster.bytes_on_wire r.Cluster.msgs_on_wire;
+    Printf.printf "traffic: ship=%d batch=%d release=%d ack=%d flow=%d order=%d\n"
+      tf.Cluster.tf_ship tf.Cluster.tf_batch tf.Cluster.tf_release tf.Cluster.tf_ack
+      tf.Cluster.tf_flow tf.Cluster.tf_order;
+    List.iter
+      (fun (lname, st) ->
+        Printf.printf "  link %-8s msgs=%d bytes=%d retransmits=%d\n" lname st.Net.s_msgs
+          st.Net.s_bytes st.Net.s_retransmits)
+      r.Cluster.link_stats;
+    List.iter
+      (fun inc ->
+        if json then print_endline (Forensics.to_json inc)
+        else begin
+          print_newline ();
+          print_string (Forensics.to_text inc)
+        end)
+      (r.Cluster.fault_incidents @ Option.to_list r.Cluster.incident)
+  in
+  let run bench n nodes ship compare diverge chaos policy heartbeat json =
+    let base = Program.build_trace (Program.baseline bench.Bench.prog) ~seed:Experiments.ref_seed in
+    let syscalls =
+      List.fold_left (fun a op -> match op with Trace.Sys _ -> a + 1 | _ -> a) 0 base
+    in
+    let traces =
+      List.init n (fun i ->
+          match diverge with Some k when i = n - 1 -> mutate_kth_syscall ~k base | _ -> base)
+    in
+    let names = List.init n (fun i -> Printf.sprintf "v%d" i) in
+    let faults = Option.map (fun seed -> Faults.plan ~seed ~variants:n ~syscalls ()) chaos in
+    Option.iter (Format.printf "%a@." Faults.pp_plan) faults;
+    let config ship =
+      { Cluster.default_config with
+        nodes; ship;
+        fault_policy =
+          (* The watchdog only matters when faults are injected; leave it
+             off otherwise so a long syscall-free stretch is not a stall. *)
+          (if chaos = None then Cluster.default_config.Cluster.fault_policy
+           else { Nxe.policy; heartbeat_timeout = heartbeat; restart_backoff = 50.0 }) }
+    in
+    let run1 ship = Cluster.run_traces ~config:(config ship) ?faults ~names traces in
+    if not compare then begin
+      Printf.printf "%s x%d on %d nodes, %s shipping\n" bench.Bench.name n nodes
+        (Cluster.mode_name ship);
+      report_one ~names ~syscalls ~json (run1 ship)
+    end
+    else begin
+      let all = [ Cluster.Full_remote_lockstep; Cluster.Selective; Cluster.Selective_replicated ] in
+      let t =
+        Table.create
+          [
+            ("mode", Table.Left); ("bytes", Table.Right); ("msgs", Table.Right);
+            ("sim us", Table.Right); ("verdict", Table.Left);
+          ]
+      in
+      let results =
+        List.map
+          (fun ship ->
+            let r = run1 ship in
+            let verdict =
+              match r.Cluster.outcome with
+              | `All_finished -> "clean"
+              | `Aborted a ->
+                Printf.sprintf "aborted: v%d at pos %d" a.Nxe.al_variant a.Nxe.al_position
+            in
+            Table.add_row t
+              [
+                Cluster.mode_name ship; string_of_int r.Cluster.bytes_on_wire;
+                string_of_int r.Cluster.msgs_on_wire;
+                Printf.sprintf "%.0f" r.Cluster.total_time; verdict;
+              ];
+            r)
+          all
+      in
+      Table.print t;
+      let signature r =
+        ( (match r.Cluster.outcome with `All_finished -> None | `Aborted a -> Some a),
+          Option.map Cluster.incident_signature r.Cluster.incident,
+          List.map Cluster.incident_signature r.Cluster.fault_incidents )
+      in
+      match results with
+      | first :: rest ->
+        if List.for_all (fun r -> signature r = signature first) rest then
+          print_endline
+            "verdict parity: naive, selective and replicated agree (alerts and incident \
+             signatures identical)"
+        else begin
+          print_endline "VERDICT MISMATCH between ship modes";
+          exit 1
+        end
+      | [] -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Run the fleet distributed over several machine nodes (the DMON/dMVX \
+             architecture): ship the leader's syscall stream over deterministic \
+             network links, cross-check remotely, and report the wire traffic. \
+             --compare proves the three ship modes agree on the verdict.")
+    Term.(const run $ bench_arg $ n_arg $ nodes_arg $ ship_arg $ compare_flag
+          $ diverge_arg $ chaos_arg $ policy_arg $ heartbeat_arg $ json_arg)
+
 let main =
   Cmd.group
     (Cmd.info "bunshin" ~version:"1.0.0"
@@ -722,6 +968,7 @@ let main =
     [
       list_cmd; profile_cmd; generate_cmd; run_cmd; exec_cmd; ripe_cmd; cve_cmd;
       forensics_cmd; window_cmd; nvariant_cmd; robustness_cmd; trace_cmd; chaos_cmd;
+      cluster_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -54,6 +54,19 @@ if dune exec bench/main.exe -- diff nxe --quick --scale-baseline 0.8 >/dev/null 
   echo "nxe perf gate self-test: injected regression was NOT detected"; exit 1
 fi
 
+# Distributed NXE gate: `diff net --quick` re-runs the cluster traffic
+# matrix (which itself asserts the >=5x dense-workload byte reduction of
+# selective+replication vs naive, and cross-mode verdict parity) and pins
+# the deterministic wire/time numbers against the committed
+# BENCH_net.json.  The scaled-baseline rerun proves the gate actually
+# fails on an injected 25% regression.
+echo "== perf gate (bench net --quick vs committed BENCH_net.json)"
+dune exec bench/main.exe -- diff net --quick
+echo "== perf gate self-test (injected net regression must fail)"
+if dune exec bench/main.exe -- diff net --quick --scale-baseline 0.8 >/dev/null 2>&1; then
+  echo "net perf gate self-test: injected regression was NOT detected"; exit 1
+fi
+
 # Profiler smoke: the overhead-attribution path end to end — per-phase
 # decomposition sums to each variant's thread time (the report prints the
 # identity check per variant) and the JSON exporter self-validates.
@@ -109,5 +122,33 @@ echo "$chaos_json" | grep -q '"mismatch":"fault-isolation"' || {
 chaos_abort=$(dune exec bin/bunshin_cli.exe -- chaos --seed 3 -n 3 --policy abort)
 echo "$chaos_abort" | grep -q "outcome: ABORTED blaming v1" || {
   echo "chaos smoke: fail-stop policy did not abort on the same seed"; exit 1; }
+
+# Cluster smoke: the distributed NXE end to end — an injected compromise
+# on a remote follower must be caught over the wire with a bit-identical
+# verdict in all three ship modes, and a seeded remote stall under the
+# quarantine policy must retire the victim while the survivors finish.
+echo "== cluster smoke (remote divergence, verdict parity)"
+cluster_out=$(dune exec bin/bunshin_cli.exe -- cluster bzip2 -n 2 --nodes 2 --compare --diverge 40)
+echo "$cluster_out"
+echo "$cluster_out" | grep -q "verdict parity:" || {
+  echo "cluster smoke: ship modes disagree on the verdict"; exit 1; }
+echo "== cluster smoke (remote stall, quarantine policy)"
+cluster_chaos=$(dune exec bin/bunshin_cli.exe -- cluster bzip2 -n 3 --nodes 2 --chaos 3 --policy quarantine)
+echo "$cluster_chaos"
+echo "$cluster_chaos" | grep -q "outcome: all finished" || {
+  echo "cluster smoke: survivors did not finish under quarantine"; exit 1; }
+echo "$cluster_chaos" | grep -q "QUARANTINED at" || {
+  echo "cluster smoke: the stalled remote variant was not quarantined"; exit 1; }
+# The traced session's distributed stage must surface the per-link wire
+# counters in the same metrics export as the local clock domains.
+echo "== cluster smoke (trace --nodes populates net.* metrics)"
+trace_net=$(dune exec bin/bunshin_cli.exe -- trace bzip2 -n 2 --nodes 2 \
+  --out _build/check_trace_net.json --metrics-out _build/check_metrics_net.json --metrics)
+echo "$trace_net" | grep -q "cluster stage:" || {
+  echo "cluster smoke: trace --nodes ran no distributed stage"; exit 1; }
+echo "$trace_net" | grep -q "net.bytes_sent" || {
+  echo "cluster smoke: net.* counters missing from trace --metrics"; exit 1; }
+echo "$trace_net" | grep -q "net_rtt_us" || {
+  echo "cluster smoke: net_rtt_us histogram missing from the metrics export"; exit 1; }
 
 echo "OK"

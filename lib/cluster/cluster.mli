@@ -1,0 +1,161 @@
+(** Distributed N-version execution: variant fleets spread over several
+    {!Bunshin_machine.Machine} nodes joined by a {!Bunshin_net.Net} model —
+    the DMON / dMVX architecture on top of Bunshin's single-host NXE.
+
+    The leader variant always runs on node 0 and publishes the same flat
+    syscall slot ring the local engine uses.  Followers placed on node 0
+    consume it directly, exactly as in {!Bunshin_nxe.Nxe}; followers on
+    other nodes see a slot only after it has been {e shipped} over a link
+    (serialized columns, batched messages — no per-slot message records),
+    so their timing honestly includes the wire.
+
+    Three ship modes reproduce the dMVX trade-off:
+    - {!Full_remote_lockstep} (naive): every synchronized syscall is
+      remote-checked — raw argument buffers cross the wire per slot, the
+      leader executes only after every remote follower's ack, and read-like
+      results ship back with the release.
+    - {!Selective}: only security-sensitive syscalls (write-flavoured IO,
+      process control, socket ops) round-trip, compared by digest; the rest
+      stream in batches and are checked on arrival, but read-like results
+      still cross the wire.
+    - {!Selective_replicated}: additionally, read-like results are served
+      from the follower node's local copy of the leader stream — only
+      metadata crosses for non-sensitive slots.
+
+    Divergence verdicts are mode-independent: an argument or sequence
+    mismatch is detected at the same channel position with the same
+    expected/got rendering in all three modes (the {!Bunshin_nxe.Nxe.alert}
+    record carries no timestamps), and incidents agree up to wall times —
+    see {!incident_signature}.
+
+    {b Determinism.}  All cross-node data flows through {!Bunshin_net.Net}
+    links (timed {!Bunshin_machine.Machine.post} deliveries); the cluster
+    loop advances whichever node holds the globally earliest event,
+    breaking ties by node index — one seed, one bit-stable schedule.
+    Monitor-plane signalling (abort, quarantine, end-of-stream wakes,
+    heartbeats) is shared state outside the byte accounting, modelling the
+    out-of-band monitor channel.
+
+    {b Units}: simulated microseconds throughout, as in [nxe.mli] and
+    [net.mli]. *)
+
+module M := Bunshin_machine.Machine
+module Sc := Bunshin_syscall.Syscall
+module Trace := Bunshin_program.Trace
+module Program := Bunshin_program.Program
+module Tel := Bunshin_telemetry.Telemetry
+module F := Bunshin_forensics.Forensics
+module Faults := Bunshin_faults.Faults
+module Nxe := Bunshin_nxe.Nxe
+module Net := Bunshin_net.Net
+
+type ship_mode =
+  | Full_remote_lockstep  (** naive: every slot round-trips with raw buffers *)
+  | Selective             (** only sensitive slots round-trip (digest compare) *)
+  | Selective_replicated  (** + read-like results served from the local replica *)
+
+type placement =
+  | Round_robin       (** variant [v] on node [v mod nodes]; leader on node 0 *)
+  | Pinned of int list (** explicit variant -> node map; leader must map to 0 *)
+
+type config = {
+  nodes : int;               (** machine instances; node 0 hosts the leader *)
+  placement : placement;
+  ship : ship_mode;
+  link : Net.params;         (** every inter-node link uses these parameters *)
+  net_seed : int;            (** seed for link loss draws *)
+  batch_slots : int;         (** non-sensitive slots per batched message *)
+  ack_every : int;           (** follower flow-control ack period, slots *)
+  ring_capacity : int;       (** leader run-ahead bound vs. known cursors *)
+  checkin_cost : float;      (** publish cost, us (as in Nxe) *)
+  fetch_cost : float;
+  synccall_cost : float;
+  resched_cost : float;
+  msg_cost : float;          (** CPU to marshal one message, charged at send *)
+  weak_determinism : bool;   (** replay the leader's lock order everywhere *)
+  recorder_depth : int;      (** per-variant flight-recorder window *)
+  telemetry : Tel.sink option;
+  fault_policy : Nxe.fault_policy;
+      (** [Restart_once] is not supported on clusters (rejected) *)
+}
+
+val default_config : config
+(** 2 nodes, round-robin, [Selective_replicated], default link, batch 16,
+    ack every 16, ring 64, Nxe-matching sync costs, weak determinism on,
+    [Abort_on_fault] with no heartbeat. *)
+
+(** Per-traffic-kind wire accounting (bytes include message headers). *)
+type traffic = {
+  tf_ship : int;     (** per-slot lockstep ship messages (down) *)
+  tf_batch : int;    (** batched non-sensitive slot + order streams (down) *)
+  tf_release : int;  (** lockstep releases incl. shipped results (down) *)
+  tf_ack : int;      (** lockstep arrival acks (up) *)
+  tf_flow : int;     (** cumulative flow-control acks (up) *)
+  tf_order : int;    (** weak-determinism order entries in naive mode (down) *)
+}
+
+type report = {
+  outcome : [ `All_finished | `Aborted of Nxe.alert ];
+  incident : F.incident option;
+  total_time : float;           (** max finish time across all nodes *)
+  variant_finish : float list;
+  variant_cpu : float list;
+  synced_syscalls : int;
+  executed_syscalls : int;
+  lockstep_syscalls : int;      (** slots that required a global rendezvous *)
+  remote_checked : int;         (** slot acks received over the wire *)
+  replicated_results : int;     (** read results served from the local replica *)
+  order_entries : int;
+  det_replays : int;
+  channels : int;
+  placement : int list;         (** variant -> node, as placed *)
+  variant_status : Nxe.variant_status list;
+  coverage_loss : string list;  (** identical accounting to the local engine *)
+  fault_incidents : F.incident list;
+  bytes_on_wire : int;          (** Net totals over all links *)
+  msgs_on_wire : int;
+  traffic : traffic;
+  link_stats : (string * Net.stats) list; (** per link, creation order *)
+  histograms : (string * (float * int) list) list;
+      (** [lockstep_wait_us] and [net_rtt_us] *)
+  node_stats : M.stats list;    (** per node *)
+}
+
+val run_traces :
+  ?config:config ->
+  ?machine_config:M.config ->
+  ?working_sets:float list ->
+  ?sensitivities:float list ->
+  ?faults:Faults.plan ->
+  ?coverage:string list list ->
+  names:string list ->
+  Trace.t list ->
+  report
+(** Execute one trace per variant across the cluster.  Variant 0 is the
+    leader.  Traces may use [Work]/[Idle]/[Sys]/[Sys_shared]/[Incr]/
+    [Lock]/[Unlock]/[Barrier]/[Spawn]/[Marker]; [Fork], [Shared_read] and
+    signal delivery are single-host features and are rejected.
+    @raise Invalid_argument on invalid config, placement, unsupported ops,
+    or the [Restart_once] policy. *)
+
+val run_builds :
+  ?config:config ->
+  ?machine_config:M.config ->
+  ?faults:Faults.plan ->
+  ?coverage:string list list ->
+  ?jitter:float ->
+  seed:int ->
+  Program.build list ->
+  report
+(** Build traces from program builds (with the same per-(variant, function)
+    compute jitter model as {!Bunshin_nxe.Nxe.run_builds}) and run them. *)
+
+val incident_signature : F.incident -> string
+(** Canonical rendering of an incident with wall times stripped (tape and
+    vote timestamps, abort time): two incidents from different ship modes
+    or schedules compare equal iff the {e verdict} — channel, position,
+    blamed variant, basis, classification, expected/got, per-variant votes
+    and tape contents — is identical.  Used by [bench net] to assert the
+    three modes agree bit-for-bit on what went wrong. *)
+
+val mode_name : ship_mode -> string

@@ -43,6 +43,8 @@ module Gate = Bunshin_profile.Gate
 module Variant = Bunshin_variant.Variant
 module Asap = Bunshin_variant.Asap
 module Nxe = Bunshin_nxe.Nxe
+module Net = Bunshin_net.Net
+module Cluster = Bunshin_cluster.Cluster
 module Faults = Bunshin_faults.Faults
 module Forensics = Bunshin_forensics.Forensics
 module Ripe = Bunshin_attack.Ripe

@@ -201,6 +201,22 @@ type t = {
   mutable h_th : thread array;
   mutable h_len : int;
   mutable h_next_seq : int;
+  (* Timer heap: timed callbacks posted from outside fibers ([post]).  A
+     separate struct-of-arrays min-heap ordered by (time, seq) — kept apart
+     from the event heap so the hot path above stays three parallel arrays
+     with no closure column.  Every existing single-machine path leaves it
+     empty ([tm_len = 0]), so the extra branches in the run loop are
+     perfectly predicted and schedules are bit-identical to before. *)
+  mutable tm_time : float array;
+  mutable tm_seq : int array;
+  mutable tm_fn : (unit -> unit) array;
+  mutable tm_len : int;
+  mutable tm_next_seq : int;
+  (* Progress flag for co-simulation: set whenever the scheduler does real
+     work (resumes a fiber or starts a burst), read/reset by
+     [dispatch_runnable] so a cluster driver can interleave several
+     machines until none can advance without consuming an event. *)
+  mutable progress : bool;
   runq : Tq.q;
   cores : core array;
   mutable procs : proc list;
@@ -262,6 +278,12 @@ let create ?(config = default_config) ?telemetry () =
     h_th = Array.make 64 dummy_thread;
     h_len = 0;
     h_next_seq = 0;
+    tm_time = Array.make 8 0.0;
+    tm_seq = Array.make 8 0;
+    tm_fn = Array.make 8 ignore;
+    tm_len = 0;
+    tm_next_seq = 0;
+    progress = false;
     runq = Tq.create ();
     cores =
       Array.init config.cores (fun _ -> { c_last = -1; c_busy = false; c_budget = 0.0 });
@@ -350,6 +372,76 @@ let heap_drop t =
     done
   end
   else t.h_th.(0) <- dummy_thread
+
+(* ------------------------------------------------------------------ *)
+(* Timer heap: (time, seq)-ordered callbacks, same discipline as the event
+   heap (seq breaks ties, so same-time timers fire in posting order). *)
+
+let timer_before t i j =
+  t.tm_time.(i) < t.tm_time.(j)
+  || (t.tm_time.(i) = t.tm_time.(j) && t.tm_seq.(i) < t.tm_seq.(j))
+
+let timer_swap t i j =
+  let tm = t.tm_time.(i) in
+  t.tm_time.(i) <- t.tm_time.(j);
+  t.tm_time.(j) <- tm;
+  let sq = t.tm_seq.(i) in
+  t.tm_seq.(i) <- t.tm_seq.(j);
+  t.tm_seq.(j) <- sq;
+  let fn = t.tm_fn.(i) in
+  t.tm_fn.(i) <- t.tm_fn.(j);
+  t.tm_fn.(j) <- fn
+
+let timer_grow t =
+  let cap = Array.length t.tm_time in
+  let ncap = 2 * cap in
+  let time = Array.make ncap 0.0
+  and seq = Array.make ncap 0
+  and fn = Array.make ncap ignore in
+  Array.blit t.tm_time 0 time 0 t.tm_len;
+  Array.blit t.tm_seq 0 seq 0 t.tm_len;
+  Array.blit t.tm_fn 0 fn 0 t.tm_len;
+  t.tm_time <- time;
+  t.tm_seq <- seq;
+  t.tm_fn <- fn
+
+let post t ~at fn =
+  let at = if at > t.clock then at else t.clock in
+  if t.tm_len = Array.length t.tm_time then timer_grow t;
+  let i = ref t.tm_len in
+  t.tm_time.(!i) <- at;
+  t.tm_seq.(!i) <- t.tm_next_seq;
+  t.tm_fn.(!i) <- fn;
+  t.tm_next_seq <- t.tm_next_seq + 1;
+  t.tm_len <- t.tm_len + 1;
+  while !i > 0 && timer_before t !i ((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    timer_swap t !i p;
+    i := p
+  done
+
+let timer_drop t =
+  t.tm_len <- t.tm_len - 1;
+  if t.tm_len > 0 then begin
+    t.tm_time.(0) <- t.tm_time.(t.tm_len);
+    t.tm_seq.(0) <- t.tm_seq.(t.tm_len);
+    t.tm_fn.(0) <- t.tm_fn.(t.tm_len);
+    t.tm_fn.(t.tm_len) <- ignore;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.tm_len && timer_before t l !smallest then smallest := l;
+      if r < t.tm_len && timer_before t r !smallest then smallest := r;
+      if !smallest <> !i then begin
+        timer_swap t !smallest !i;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end
+  else t.tm_fn.(0) <- ignore
 
 (* ------------------------------------------------------------------ *)
 (* State transitions *)
@@ -619,6 +711,7 @@ let handler t th =
   }
 
 let resume_fiber t th =
+  t.progress <- true;
   let saved = t.current in
   t.current <- th.self_opt;
   charge t th;
@@ -658,6 +751,7 @@ let free_core_for t th =
   end
 
 let start_burst t th ci =
+  t.progress <- true;
   let core = t.cores.(ci) in
   let ctx =
     if core.c_last <> th.id then begin
@@ -778,43 +872,86 @@ let handle_burst_end t th =
   else if th.remaining > 1e-12 then make_ready t th
   else resume_fiber t th
 
+(* Pop and process the earliest pending event or timer.  Caller guarantees
+   [t.h_len > 0 || t.tm_len > 0].  Equal-time ties go to the event heap —
+   with no timers pending (every single-machine path) this is exactly the
+   old run-loop body, so existing schedules are bit-identical. *)
+let process_next t =
+  let use_timer =
+    t.tm_len > 0 && (t.h_len = 0 || t.tm_time.(0) < t.h_time.(0))
+  in
+  if use_timer then begin
+    let time = t.tm_time.(0) and fn = t.tm_fn.(0) in
+    timer_drop t;
+    if time > t.clock then t.clock <- time;
+    if t.clock > t.cfg.max_time then
+      raise (Deadlock (Printf.sprintf "max_time %.0f exceeded" t.cfg.max_time));
+    fn ()
+  end
+  else begin
+    let time = t.h_time.(0) in
+    let kind = t.h_key.(0) land 1 in
+    let th = t.h_th.(0) in
+    heap_drop t;
+    (* Event times are never behind the clock (every push is at
+       [clock + positive] and pops come in key order), so this is
+       [Float.max] without the function call. *)
+    if time > t.clock then t.clock <- time;
+    if t.clock > t.cfg.max_time then
+      raise (Deadlock (Printf.sprintf "max_time %.0f exceeded" t.cfg.max_time));
+    if kind = ev_wake then begin
+      if th.state = Sleeping then begin
+        charge t th;
+        set_state t th Ready;
+        Tq.push t.runq th
+      end
+    end
+    else handle_burst_end t th
+  end
+
 let run t =
   let rec loop () =
     dispatch t;
     if t.nd_unfinished = 0 then ()
     else begin
-      (* All non-daemon threads Blocked (none Ready/Running/Sleeping):
-         nothing can ever wake them. *)
-      if t.nd_blocked = t.nd_unfinished then
+      (* All non-daemon threads Blocked (none Ready/Running/Sleeping) and no
+         timer can ever wake them: nothing can make progress. *)
+      if t.nd_blocked = t.nd_unfinished && t.tm_len = 0 then
         raise (Deadlock ("threads blocked forever: " ^ stuck_names t));
-      if t.h_len = 0 then
+      if t.h_len = 0 && t.tm_len = 0 then
         (* No events and dispatch made no progress: every runnable path is
            exhausted, so remaining non-daemon threads are stuck. *)
         raise (Deadlock "no pending events but non-daemon threads remain")
       else begin
-        let time = t.h_time.(0) in
-        let kind = t.h_key.(0) land 1 in
-        let th = t.h_th.(0) in
-        heap_drop t;
-        (* Event times are never behind the clock (every push is at
-           [clock + positive] and pops come in key order), so this is
-           [Float.max] without the function call. *)
-        if time > t.clock then t.clock <- time;
-        if t.clock > t.cfg.max_time then
-          raise (Deadlock (Printf.sprintf "max_time %.0f exceeded" t.cfg.max_time));
-        if kind = ev_wake then begin
-          if th.state = Sleeping then begin
-            charge t th;
-            set_state t th Ready;
-            Tq.push t.runq th
-          end
-        end
-        else handle_burst_end t th;
+        process_next t;
         loop ()
       end
     end
   in
   loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Co-simulation hooks: a cluster driver owns several machines and advances
+   them against one global clock — settle every machine's runnable work,
+   then step whichever machine holds the globally earliest event. *)
+
+let dispatch_runnable t =
+  t.progress <- false;
+  dispatch t;
+  t.progress
+
+let next_event_time t =
+  let he = if t.h_len > 0 then t.h_time.(0) else infinity in
+  let te = if t.tm_len > 0 then t.tm_time.(0) else infinity in
+  if te < he then te else he
+
+let step_event t =
+  if t.h_len = 0 && t.tm_len = 0 then
+    invalid_arg "Machine.step_event: no pending events"
+  else process_next t
+
+let unfinished_nondaemon t = t.nd_unfinished
+let stuck_description t = stuck_names t
 
 (* ------------------------------------------------------------------ *)
 (* Stats *)

@@ -103,6 +103,42 @@ val run : t -> unit
 (** Execute until every non-daemon thread finishes.
     @raise Deadlock when progress becomes impossible. *)
 
+(** {1 Co-simulation hooks}
+
+    Used by the cluster layer ([lib/cluster]) to drive several machines
+    against one global clock: settle every machine's runnable work with
+    {!dispatch_runnable}, then {!step_event} whichever machine holds the
+    globally earliest pending event.  All hooks piggyback on the existing
+    event heap plus a timer heap that every single-machine path leaves
+    empty, so {!run} schedules are bit-identical to before these hooks
+    existed. *)
+
+val post : t -> at:float -> (unit -> unit) -> unit
+(** Schedule [fn] to run in scheduler context (not a fiber) at simulated
+    time [at] (clamped to now).  Same-time timers fire in posting order;
+    a timer tied with a heap event fires after it.  The callback may wake
+    threads, spawn, or {!post} again — message delivery in [lib/net] is
+    built on this. *)
+
+val dispatch_runnable : t -> bool
+(** Run the scheduler's dispatch loop once; [true] if any fiber was resumed
+    or any CPU burst started.  Does not consume heap events or timers. *)
+
+val next_event_time : t -> float
+(** Time of the earliest pending heap event or timer; [infinity] if none. *)
+
+val step_event : t -> unit
+(** Pop and process exactly one event or timer (advancing this machine's
+    clock to it).  Does not dispatch afterwards — the co-simulation driver
+    interleaves {!dispatch_runnable} across machines itself.
+    @raise Invalid_argument when nothing is pending. *)
+
+val unfinished_nondaemon : t -> int
+(** Non-daemon threads not yet finished — the driver's termination test. *)
+
+val stuck_description : t -> string
+(** Names of blocked non-daemon threads, for cluster deadlock messages. *)
+
 type stats = {
   total_time : float;          (** time when the last non-daemon thread ended *)
   context_switches : int;
