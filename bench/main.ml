@@ -1376,6 +1376,161 @@ let profile_data () =
 let profile_section () = write_bench_json "BENCH_profile.json" (profile_data ())
 
 (* ------------------------------------------------------------------ *)
+(* SLO & causal tracing: windowed rendezvous tail latency, burn rate and
+   critical-path attribution on single-node and clustered runs.  Every
+   number is simulated time, hence deterministic and tightly gated.  The
+   section also enforces two structural guarantees of the tracing layer:
+   attaching the recorder must leave the run's report untouched (spot
+   check here, full bit-identity in the golden tests), and the NXE hot
+   path must stay inside the PR-7 allocation budget with the span ring
+   active. *)
+
+let slo_quantile_ps = [ 50.0; 95.0; 99.0; 99.9 ]
+
+(* Closed rendezvous roots as (completion, latency), completion order —
+   the sample stream a live monitoring hook would see. *)
+let slo_rendezvous_samples tc =
+  List.filter_map
+    (fun sp ->
+      if sp.Trace_ctx.sp_kind = Trace_ctx.Rendezvous && Float.is_finite sp.Trace_ctx.sp_t1
+      then Some (sp.Trace_ctx.sp_t1, sp.Trace_ctx.sp_t1 -. sp.Trace_ctx.sp_t0)
+      else None)
+    (Trace_ctx.spans tc)
+  |> List.sort compare
+
+let slo_cause_shares paths =
+  let attrs = Trace_ctx.attribute paths in
+  let share pred =
+    List.fold_left
+      (fun acc a -> if pred a.Trace_ctx.ca_cause then acc +. a.Trace_ctx.ca_share else acc)
+      0.0 attrs
+  in
+  ( share (function Trace_ctx.Straggler _ -> true | _ -> false),
+    share (function
+      | Trace_ctx.Link_serialization | Trace_ctx.Link_latency | Trace_ctx.Link_retransmit ->
+        true
+      | _ -> false) )
+
+let slo_data () =
+  section "SLO monitor: windowed rendezvous tail latency and critical-path attribution";
+  let quick = !quick_mode in
+  let requests = if quick then 40 else 120 in
+  let t =
+    Table.create
+      [
+        ("workload", Table.Left); ("nodes", Table.Right); ("rdv", Table.Right);
+        ("p50", Table.Right); ("p99", Table.Right); ("live p99", Table.Right);
+        ("burn", Table.Right); ("straggler", Table.Right); ("link", Table.Right);
+      ]
+  in
+  let suites = ref [] in
+  let measure ~sname ~nodes ~slo_limit run_with =
+    (* Identical run minus the recorder: the schedule and counts the
+       tracer claims to merely observe. *)
+    let base_synced, base_time, _ = run_with None in
+    let tc = Trace_ctx.create () in
+    let mw0 = Gc.minor_words () in
+    let synced, total_time, n = run_with (Some tc) in
+    let mwords = Gc.minor_words () -. mw0 in
+    if synced <> base_synced || total_time <> base_time then begin
+      Printf.eprintf "slo bench: tracer perturbed the run on %s (%d/%f vs %d/%f)\n" sname
+        synced total_time base_synced base_time;
+      exit 1
+    end;
+    (* PR-7 budget with the span ring active (same bar as the nxe bench;
+       single-node only — cluster runs allocate in the net layer). *)
+    if nodes = 1 && synced > 100 && mwords /. float_of_int synced > 120.0 *. float_of_int n
+    then begin
+      Printf.eprintf "slo bench: allocation budget exceeded on %s with tracing: %.1f w/sync\n"
+        sname
+        (mwords /. float_of_int synced);
+      exit 1
+    end;
+    let samples = slo_rendezvous_samples tc in
+    let lats = Array.of_list (List.map snd samples) in
+    let exact =
+      match Stats.percentiles lats slo_quantile_ps with
+      | [ a; b; c; d ] -> (a, b, c, d)
+      | _ -> (0.0, 0.0, 0.0, 0.0)
+    in
+    let p50, p95, p99, p999 = exact in
+    let w = Telemetry.Slo.window ~sub_windows:8 ~sub_us:2000.0 () in
+    List.iter (fun (t1, lat) -> Telemetry.Slo.observe w ~now:t1 lat) samples;
+    let now = match List.rev samples with (t1, _) :: _ -> t1 | [] -> 0.0 in
+    let live_p99 = Telemetry.Slo.quantile w ~now 99.0 in
+    (* The live quantile reads the ring's surviving sub-windows, the
+       exact one those same samples post-hoc: agreement within one log
+       bucket (the acceptance bound, also pinned as a unit test).
+       Membership mirrors the ring: absolute sub-window index within
+       [sub_windows] of the newest. *)
+    let cur = int_of_float (now /. 2000.0) in
+    let tail =
+      List.filter (fun (t1, _) -> int_of_float (t1 /. 2000.0) > cur - 8) samples
+    in
+    let tail_p99 =
+      match Stats.percentiles (Array.of_list (List.map snd tail)) [ 99.0 ] with
+      | [ v ] -> v
+      | _ -> 0.0
+    in
+    if
+      Float.abs (live_p99 -. tail_p99)
+      > Telemetry.Slo.bucket_width_at w (Float.max live_p99 tail_p99)
+    then begin
+      Printf.eprintf "slo bench: live p99 %.2f disagrees with exact %.2f on %s\n" live_p99
+        tail_p99 sname;
+      exit 1
+    end;
+    let target = { Telemetry.Slo.slo_quantile = 99.0; slo_limit_us = slo_limit } in
+    let burn = Telemetry.Slo.burn_rate w ~now target in
+    let straggler_share, link_share = slo_cause_shares (Trace_ctx.critical_paths tc) in
+    Table.add_row t
+      [
+        sname; string_of_int nodes; string_of_int (List.length samples);
+        Printf.sprintf "%.2f" p50; Printf.sprintf "%.2f" p99;
+        Printf.sprintf "%.2f" live_p99; Printf.sprintf "%.2f" burn;
+        pct straggler_share; pct link_share;
+      ];
+    suites :=
+      ( Printf.sprintf "%s_n%d" sname nodes,
+        [
+          ("rendezvous", float_of_int (List.length samples));
+          ("p50_us", p50);
+          ("p95_us", p95);
+          ("p99_us", p99);
+          ("p999_us", p999);
+          ("live_p99_us", live_p99);
+          ("burn_rate", burn);
+          ("straggler_share_pct", 100.0 *. straggler_share);
+          ("link_share_pct", 100.0 *. link_share);
+        ] )
+      :: !suites
+  in
+  let dense_trace = nxe_dense_trace () in
+  measure ~sname:"bzip2_dense" ~nodes:1 ~slo_limit:12.0 (fun tracer ->
+      let config = { Nxe.selective with tracer } in
+      let names = List.init 3 (Printf.sprintf "v%d") in
+      let r = Nxe.run_traces ~config ~names (List.init 3 (fun _ -> dense_trace)) in
+      (r.Nxe.synced_syscalls, r.Nxe.total_time, 3));
+  let server = Server.make Server.Lighttpd ~file_kb:1 ~connections:16 ~requests in
+  let server_trace = Program.build_trace (Program.baseline server.Bench.prog) ~seed:E.ref_seed in
+  measure ~sname:"lighttpd" ~nodes:1 ~slo_limit:(Server.slo_target_us Server.Lighttpd)
+    (fun tracer ->
+      let config = { Nxe.selective with tracer } in
+      let names = List.init 3 (Printf.sprintf "v%d") in
+      let r = Nxe.run_traces ~config ~names (List.init 3 (fun _ -> server_trace)) in
+      (r.Nxe.synced_syscalls, r.Nxe.total_time, 3));
+  measure ~sname:"lighttpd" ~nodes:4 ~slo_limit:(Server.slo_target_us Server.Lighttpd)
+    (fun tracer ->
+      let config = { Cluster.default_config with nodes = 4; ship = Cluster.Selective; tracer } in
+      let names = List.init 3 (Printf.sprintf "v%d") in
+      let r = Cluster.run_traces ~config ~names (List.init 3 (fun _ -> server_trace)) in
+      (r.Cluster.synced_syscalls, r.Cluster.total_time, 3));
+  Table.print t;
+  Gate.emit_json ~section:"slo" ~quick (List.rev !suites)
+
+let slo_section () = write_bench_json "BENCH_slo.json" (slo_data ())
+
+(* ------------------------------------------------------------------ *)
 (* Perf-regression gate: `diff SECTION' re-runs the section in memory and
    compares it against the committed BENCH_SECTION.json baseline. *)
 
@@ -1427,6 +1582,20 @@ let gate_specs =
         Gate.threshold ~tolerance:0.0 "msgs_on_wire";
         Gate.threshold ~tolerance:0.01 "sim_total_time_us";
         Gate.threshold ~tolerance:0.01 "overhead_pct";
+      ] );
+    ( "slo",
+      slo_data,
+      [
+        (* All simulated: rendezvous counts are exact, latency quantiles
+           and attribution shares carry only JSON rounding slack. *)
+        Gate.threshold ~tolerance:0.0 "rendezvous";
+        Gate.threshold ~tolerance:0.01 "p50_us";
+        Gate.threshold ~tolerance:0.01 "p99_us";
+        Gate.threshold ~tolerance:0.01 "p999_us";
+        Gate.threshold ~tolerance:0.01 "live_p99_us";
+        Gate.threshold ~tolerance:0.01 "burn_rate";
+        Gate.threshold ~tolerance:0.01 "straggler_share_pct";
+        Gate.threshold ~tolerance:0.01 "link_share_pct";
       ] );
   ]
 
@@ -1684,6 +1853,7 @@ let sections =
     ("profile", profile_section);
     ("nxe", nxe_section);
     ("net", net_section);
+    ("slo", slo_section);
   ]
 
 let () =

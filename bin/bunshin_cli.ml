@@ -93,6 +93,49 @@ let lockstep_arg =
        & info [ "lockstep" ] ~doc:"Lockstep mode: strict or selective.")
 
 (* ------------------------------------------------------------------ *)
+(* Causal-span reporting, shared by trace, cluster and slo *)
+
+let spans_flag =
+  Arg.(value & flag
+       & info [ "spans" ]
+           ~doc:"Attach the causal-span recorder and print the first span trees plus \
+                 the critical-path attribution table (pure observation: the run's \
+                 report is bit-identical either way).")
+
+let spans_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "spans-out" ] ~docv:"FILE"
+           ~doc:"Write every recorded causal span as a JSON array to FILE (implies \
+                 the recorder is attached).")
+
+let write_file file contents =
+  try Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc contents)
+  with Sys_error e ->
+    Printf.eprintf "cannot write %s: %s\n" file e;
+    exit 1
+
+let span_report ?(trees = 3) ~label tc ~show ~spans_out =
+  if show then begin
+    let all_traces = Trace_ctx.traces tc in
+    Printf.printf "spans: %d recorded (%d dropped) across %d traces\n" (Trace_ctx.used tc)
+      (Trace_ctx.dropped tc) (List.length all_traces);
+    let shown = ref 0 in
+    List.iter
+      (fun tr ->
+        if !shown < trees then begin
+          incr shown;
+          print_string (Trace_ctx.tree_to_text tc tr)
+        end)
+      all_traces;
+    print_string (Trace_ctx.attribution_to_text ~label (Trace_ctx.critical_paths tc))
+  end;
+  match spans_out with
+  | Some file ->
+    write_file file (Trace_ctx.spans_to_json tc);
+    Printf.printf "wrote %s (%d spans)\n" file (Trace_ctx.used tc)
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 
 let plan_of ?(block_split = 1) ?profile_file ~mode ~n ~sanitizer bench =
   let prog = bench.Bench.prog in
@@ -551,9 +594,10 @@ let trace_cmd =
                    net.* wire counters and the net_rtt_us histogram in the metrics \
                    export.")
   in
-  let run bench n config nodes out metrics_file print_metrics =
+  let run bench n config nodes out metrics_file print_metrics spans spans_out =
     let sink = Telemetry.create () in
-    let config = { config with Nxe.telemetry = Some sink } in
+    let tracer = if spans || spans_out <> None then Some (Trace_ctx.create ()) else None in
+    let config = { config with Nxe.telemetry = Some sink; tracer } in
     (* Stage 1: the benchmark as N identical baseline builds under the NXE —
        populates the machine and nxe clock domains. *)
     let builds = List.init n (fun _ -> Program.baseline bench.Bench.prog) in
@@ -564,7 +608,7 @@ let trace_cmd =
     (* Distributed stage: the same fleet spread over the requested nodes,
        so the per-link wire counters land in the same sink. *)
     if nodes > 1 then begin
-      let cconfig = { Cluster.default_config with nodes; telemetry = Some sink } in
+      let cconfig = { Cluster.default_config with nodes; telemetry = Some sink; tracer } in
       let trace =
         Program.build_trace (Program.baseline bench.Bench.prog) ~seed:Experiments.ref_seed
       in
@@ -606,14 +650,17 @@ let trace_cmd =
     write metrics_file (Telemetry.metrics_to_json sink);
     Printf.printf "wrote %s (%d events, %d dropped) and %s\n" out
       (Telemetry.event_count sink) (Telemetry.dropped_events sink) metrics_file;
-    if print_metrics then print_string (Telemetry.metrics_to_text sink)
+    if print_metrics then print_string (Telemetry.metrics_to_text sink);
+    Option.iter
+      (fun tc -> span_report ~label:bench.Bench.name tc ~show:spans ~spans_out)
+      tracer
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a traced session and export a Chrome trace_event JSON (open in \
              chrome://tracing or Perfetto) plus a metrics dump.")
     Term.(const run $ bench_arg $ n_arg $ lockstep_arg $ nodes_arg $ out_arg
-          $ metrics_out_arg $ metrics_flag)
+          $ metrics_out_arg $ metrics_flag $ spans_flag $ spans_out_arg)
 
 let robustness_cmd =
   let run () =
@@ -878,7 +925,13 @@ let cluster_cmd =
         end)
       (r.Cluster.fault_incidents @ Option.to_list r.Cluster.incident)
   in
-  let run bench n nodes ship compare diverge chaos policy heartbeat json =
+  let run bench n nodes ship compare diverge chaos policy heartbeat json spans spans_out =
+    let tracer =
+      (* With --compare, three runs would interleave in one recorder; keep
+         span capture to the single-run path. *)
+      if (spans || spans_out <> None) && not compare then Some (Trace_ctx.create ())
+      else None
+    in
     let base = Program.build_trace (Program.baseline bench.Bench.prog) ~seed:Experiments.ref_seed in
     let syscalls =
       List.fold_left (fun a op -> match op with Trace.Sys _ -> a + 1 | _ -> a) 0 base
@@ -892,7 +945,7 @@ let cluster_cmd =
     Option.iter (Format.printf "%a@." Faults.pp_plan) faults;
     let config ship =
       { Cluster.default_config with
-        nodes; ship;
+        nodes; ship; tracer;
         fault_policy =
           (* The watchdog only matters when faults are injected; leave it
              off otherwise so a long syscall-free stretch is not a stall. *)
@@ -903,7 +956,10 @@ let cluster_cmd =
     if not compare then begin
       Printf.printf "%s x%d on %d nodes, %s shipping\n" bench.Bench.name n nodes
         (Cluster.mode_name ship);
-      report_one ~names ~syscalls ~json (run1 ship)
+      report_one ~names ~syscalls ~json (run1 ship);
+      Option.iter
+        (fun tc -> span_report ~label:bench.Bench.name tc ~show:spans ~spans_out)
+        tracer
     end
     else begin
       let all = [ Cluster.Full_remote_lockstep; Cluster.Selective; Cluster.Selective_replicated ] in
@@ -959,7 +1015,138 @@ let cluster_cmd =
              network links, cross-check remotely, and report the wire traffic. \
              --compare proves the three ship modes agree on the verdict.")
     Term.(const run $ bench_arg $ n_arg $ nodes_arg $ ship_arg $ compare_flag
-          $ diverge_arg $ chaos_arg $ policy_arg $ heartbeat_arg $ json_arg)
+          $ diverge_arg $ chaos_arg $ policy_arg $ heartbeat_arg $ json_arg
+          $ spans_flag $ spans_out_arg)
+
+let slo_cmd =
+  let kind_arg =
+    let kconv =
+      Arg.conv
+        ( (function
+           | "lighttpd" -> Ok Server.Lighttpd
+           | "nginx" -> Ok Server.Nginx
+           | s -> Error (`Msg ("unknown server kind " ^ s ^ " (lighttpd, nginx)"))),
+          fun fmt k -> Format.fprintf fmt "%s" (Server.kind_name k) )
+    in
+    Arg.(value & opt kconv Server.Lighttpd
+         & info [ "kind" ] ~docv:"SERVER" ~doc:"Server workload: lighttpd or nginx.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 1
+         & info [ "nodes" ] ~docv:"K"
+             ~doc:"Run the fleet on K machine nodes (selective shipping) instead of the \
+                   single-host engine.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 40
+         & info [ "requests" ] ~docv:"R" ~doc:"Total requests the server run serves.")
+  in
+  let file_kb_arg =
+    Arg.(value & opt int 1 & info [ "file-kb" ] ~docv:"KB" ~doc:"Response size per request.")
+  in
+  let sub_windows_arg =
+    Arg.(value & opt int 8
+         & info [ "sub-windows" ] ~docv:"S" ~doc:"Sliding-window ring size (sub-histograms).")
+  in
+  let sub_us_arg =
+    Arg.(value & opt float 2000.0
+         & info [ "sub-us" ] ~docv:"US" ~doc:"Span of one sub-window, machine-µs.")
+  in
+  let prometheus_flag =
+    Arg.(value & flag
+         & info [ "prometheus" ]
+             ~doc:"Dump the metrics registry (including the slo.* gauges) in Prometheus \
+                   text exposition format to stdout.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the SLO summary as a JSON object.")
+  in
+  let run kind n nodes requests file_kb sub_windows sub_us prometheus json spans spans_out =
+    let bench = Server.make kind ~file_kb ~connections:16 ~requests in
+    let sink = Telemetry.create () in
+    let tc = Trace_ctx.create () in
+    let label =
+      Printf.sprintf "%s x%d (%s)" bench.Bench.name n
+        (if nodes <= 1 then "single node" else Printf.sprintf "%d nodes" nodes)
+    in
+    let total_time =
+      if nodes <= 1 then begin
+        let config = { Nxe.selective with telemetry = Some sink; tracer = Some tc } in
+        let builds = List.init n (fun _ -> Program.baseline bench.Bench.prog) in
+        let r = Experiments.nxe_run ~config ~seed:Experiments.ref_seed builds in
+        r.Nxe.total_time
+      end
+      else begin
+        let config =
+          { Cluster.default_config with
+            nodes; ship = Cluster.Selective; telemetry = Some sink; tracer = Some tc }
+        in
+        let trace =
+          Program.build_trace (Program.baseline bench.Bench.prog) ~seed:Experiments.ref_seed
+        in
+        let names = List.init n (fun i -> Printf.sprintf "v%d" i) in
+        let r = Cluster.run_traces ~config ~names (List.init n (fun _ -> trace)) in
+        r.Cluster.total_time
+      end
+    in
+    (* Feed the windowed monitor in rendezvous-completion order — exactly
+       the sample stream a live hook inside the engine would see. *)
+    let samples =
+      List.filter_map
+        (fun sp ->
+          if sp.Trace_ctx.sp_kind = Trace_ctx.Rendezvous && Float.is_finite sp.Trace_ctx.sp_t1
+          then Some (sp.Trace_ctx.sp_t1, sp.Trace_ctx.sp_t1 -. sp.Trace_ctx.sp_t0)
+          else None)
+        (Trace_ctx.spans tc)
+      |> List.sort compare
+    in
+    let w = Telemetry.Slo.window ~sub_windows ~sub_us () in
+    List.iter (fun (t1, lat) -> Telemetry.Slo.observe w ~now:t1 lat) samples;
+    let now = match List.rev samples with (t1, _) :: _ -> t1 | [] -> total_time in
+    let qs = Telemetry.Slo.quantiles w ~now [ 50.0; 95.0; 99.0; 99.9 ] in
+    let p50, p95, p99, p999 =
+      match qs with [ a; b; c; d ] -> (a, b, c, d) | _ -> (0.0, 0.0, 0.0, 0.0)
+    in
+    let target =
+      { Telemetry.Slo.slo_quantile = 99.0; slo_limit_us = Server.slo_target_us kind }
+    in
+    let breach = Telemetry.Slo.breach_fraction w ~now target in
+    let burn = Telemetry.Slo.burn_rate w ~now target in
+    Telemetry.Gauge.set (Telemetry.gauge sink "slo.rendezvous_p50_us") p50;
+    Telemetry.Gauge.set (Telemetry.gauge sink "slo.rendezvous_p99_us") p99;
+    Telemetry.Gauge.set (Telemetry.gauge sink "slo.breach_fraction") breach;
+    Telemetry.Gauge.set (Telemetry.gauge sink "slo.burn_rate") burn;
+    Telemetry.Counter.incr ~by:(List.length samples)
+      (Telemetry.counter sink "slo.rendezvous_total");
+    if json then
+      Printf.printf
+        "{\"workload\":%S,\"nodes\":%d,\"rendezvous\":%d,\"window_us\":%g,\"p50_us\":%g,\
+         \"p95_us\":%g,\"p99_us\":%g,\"p999_us\":%g,\"slo_limit_us\":%g,\
+         \"breach_fraction\":%g,\"burn_rate\":%g}\n"
+        bench.Bench.name nodes (List.length samples)
+        (Telemetry.Slo.span_us w) p50 p95 p99 p999 target.Telemetry.Slo.slo_limit_us breach
+        burn
+    else begin
+      Printf.printf "%s: %d synchronized rendezvous in %.0f us\n" label (List.length samples)
+        total_time;
+      Printf.printf "windowed latency (last %.0f us): p50 %.2f  p95 %.2f  p99 %.2f  p999 %.2f us\n"
+        (Telemetry.Slo.span_us w) p50 p95 p99 p999;
+      Printf.printf "SLO: p99 <= %.1f us -> breach fraction %.4f, burn rate %.2f%s\n"
+        target.Telemetry.Slo.slo_limit_us breach burn
+        (if burn > 1.0 then "  (VIOLATING: budget burning too fast)" else "");
+      print_string (Trace_ctx.attribution_to_text ~label (Trace_ctx.critical_paths tc))
+    end;
+    if prometheus then print_string (Telemetry.metrics_to_prometheus sink);
+    span_report ~label tc ~show:spans ~spans_out
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:"Run a server workload under the NXE (or a cluster with --nodes), monitor \
+             per-rendezvous latency through the sliding-window SLO monitor, and report \
+             live tail percentiles, burn rate and the critical-path attribution.")
+    Term.(const run $ kind_arg $ n_arg $ nodes_arg $ requests_arg $ file_kb_arg
+          $ sub_windows_arg $ sub_us_arg $ prometheus_flag $ json_flag $ spans_flag
+          $ spans_out_arg)
 
 let main =
   Cmd.group
@@ -968,7 +1155,7 @@ let main =
     [
       list_cmd; profile_cmd; generate_cmd; run_cmd; exec_cmd; ripe_cmd; cve_cmd;
       forensics_cmd; window_cmd; nvariant_cmd; robustness_cmd; trace_cmd; chaos_cmd;
-      cluster_cmd;
+      cluster_cmd; slo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

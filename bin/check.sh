@@ -67,6 +67,20 @@ if dune exec bench/main.exe -- diff net --quick --scale-baseline 0.8 >/dev/null 
   echo "net perf gate self-test: injected regression was NOT detected"; exit 1
 fi
 
+# SLO/tracing gate: `diff slo --quick` re-runs the causal-tracing matrix
+# fresh — which itself asserts that enabling the tracer leaves the run
+# bit-identical, that the span ring stays inside the NXE's per-sync
+# allocation budget, and that the live windowed p99 agrees with the
+# post-hoc exact percentile within one log-bucket width — and pins the
+# deterministic latency quantiles, burn rates and attribution shares
+# against the committed BENCH_slo.json.
+echo "== perf gate (bench slo --quick vs committed BENCH_slo.json)"
+dune exec bench/main.exe -- diff slo --quick
+echo "== perf gate self-test (injected slo regression must fail)"
+if dune exec bench/main.exe -- diff slo --quick --scale-baseline 0.8 >/dev/null 2>&1; then
+  echo "slo perf gate self-test: injected regression was NOT detected"; exit 1
+fi
+
 # Profiler smoke: the overhead-attribution path end to end — per-phase
 # decomposition sums to each variant's thread time (the report prints the
 # identity check per variant) and the JSON exporter self-validates.
@@ -150,5 +164,27 @@ echo "$trace_net" | grep -q "net.bytes_sent" || {
   echo "cluster smoke: net.* counters missing from trace --metrics"; exit 1; }
 echo "$trace_net" | grep -q "net_rtt_us" || {
   echo "cluster smoke: net_rtt_us histogram missing from the metrics export"; exit 1; }
+
+# SLO smoke: live monitoring end to end — the windowed monitor must report
+# tail percentiles and a burn rate, the span recorder must yield connected
+# cross-node trees with a critical-path attribution, and the Prometheus
+# exporter must carry the slo.* gauges.
+echo "== slo smoke (bunshin slo, single node + 4-node cluster)"
+slo_out=$(dune exec bin/bunshin_cli.exe -- slo --requests 40)
+echo "$slo_out"
+echo "$slo_out" | grep -q "burn rate" || {
+  echo "slo smoke: no burn rate in the report"; exit 1; }
+echo "$slo_out" | grep -q "straggler v" || {
+  echo "slo smoke: single-node attribution named no straggler"; exit 1; }
+slo_cluster=$(dune exec bin/bunshin_cli.exe -- slo --nodes 4 --requests 40 --spans)
+echo "$slo_cluster" | grep -q "link " || {
+  echo "slo smoke: 4-node attribution blamed no link edge"; exit 1; }
+echo "$slo_cluster" | grep -q "rendezvous    node0" || {
+  echo "slo smoke: no rendezvous root span in the tree dump"; exit 1; }
+echo "$slo_cluster" | grep -q "net_msg       node1" || {
+  echo "slo smoke: span tree crossed no node boundary"; exit 1; }
+dune exec bin/bunshin_cli.exe -- slo --requests 40 --prometheus \
+  | grep -q "^slo_rendezvous_p99_us" || {
+  echo "slo smoke: slo.* gauges missing from the Prometheus export"; exit 1; }
 
 echo "OK"

@@ -9,6 +9,7 @@ module F = Bunshin_forensics.Forensics
 module Faults = Bunshin_faults.Faults
 module Nxe = Bunshin_nxe.Nxe
 module Net = Bunshin_net.Net
+module Tx = Bunshin_trace_ctx.Trace_ctx
 
 type ship_mode = Full_remote_lockstep | Selective | Selective_replicated
 
@@ -31,6 +32,7 @@ type config = {
   weak_determinism : bool;
   recorder_depth : int;
   telemetry : Tel.sink option;
+  tracer : Tx.t option;
   fault_policy : Nxe.fault_policy;
 }
 
@@ -52,6 +54,7 @@ let default_config =
     weak_determinism = true;
     recorder_depth = 16;
     telemetry = None;
+    tracer = None;
     fault_policy = Nxe.default_policy;
   }
 
@@ -106,7 +109,12 @@ let stall_duration = 1e9
    cross the wire.  What varies between ship modes is exactly WHICH of
    these components travel — that difference is the dMVX curve. *)
 
-let msg_hdr = 24
+(* 24 bytes of transport/session header plus 8 bytes of causal-trace
+   context (trace id + span id, 32-bit each) piggybacked on EVERY message
+   unconditionally — the header reserves the field whether or not a
+   tracer is attached, so enabling tracing cannot change bytes-on-wire,
+   schedules, or reports (the bit-identity guarantee). *)
+let msg_hdr = 32
 let io_payload = 4096
 let slot_meta sc = 32 + (8 * List.length sc.Sc.args)
 
@@ -176,6 +184,8 @@ type chan = {
   mutable sl_last : float array;
   mutable sl_lastv : int array;
   mutable sl_ship : float array; (* lockstep ship time, for RTT *)
+  mutable sl_trace : int array; (* causal trace id per slot, -1 untraced *)
+  mutable sl_span : int array; (* rendezvous root span id, -1 untraced *)
   mutable sl_len : int;
   mutable leader_pos : int;
   mutable leader_done : bool;
@@ -204,7 +214,9 @@ let ensure_slot chan =
     chan.sl_first <- grow_f chan.sl_first;
     chan.sl_last <- grow_f chan.sl_last;
     chan.sl_lastv <- grow_i chan.sl_lastv;
-    chan.sl_ship <- grow_f chan.sl_ship
+    chan.sl_ship <- grow_f chan.sl_ship;
+    chan.sl_trace <- grow_i chan.sl_trace;
+    chan.sl_span <- grow_i chan.sl_span
   end
 
 (* Weak-determinism order list, with a per-node delivery watermark: a
@@ -227,6 +239,7 @@ type outbox = {
   mutable ob_items : ob_item list; (* newest first *)
   mutable ob_slots : int;
   mutable ob_bytes : int;
+  mutable ob_span : int; (* causal context of the newest appended slot *)
 }
 
 type cl = {
@@ -333,6 +346,8 @@ let get_chan cl path =
         sl_last = [||];
         sl_lastv = [||];
         sl_ship = [||];
+        sl_trace = [||];
+        sl_span = [||];
         sl_len = 0;
         leader_pos = 0;
         leader_done = false;
@@ -439,15 +454,17 @@ let flush_node cl k =
   if ob.ob_items <> [] then begin
     let items = List.rev ob.ob_items in
     let bytes = msg_hdr + ob.ob_bytes in
+    let span = ob.ob_span in
     ob.ob_items <- [];
     ob.ob_slots <- 0;
     ob.ob_bytes <- 0;
+    ob.ob_span <- -1;
     if node_active cl k then begin
       M.compute cl.machines.(0) cl.cfg.msg_cost;
       (match cl.cfg.ship with
        | Full_remote_lockstep -> cl.tf_order <- cl.tf_order + bytes
        | Selective | Selective_replicated -> cl.tf_batch <- cl.tf_batch + bytes);
-      Net.send cl.net cl.down.(k - 1) ~bytes (fun () ->
+      Net.send_traced cl.net cl.down.(k - 1) ~bytes ~span ~node:k (fun () ->
           List.iter
             (fun item ->
               match item with
@@ -474,6 +491,10 @@ let append_slot cl k chan ~pos sc =
    | items -> ob.ob_items <- Ob_slots (chan, pos + 1) :: items);
   ob.ob_slots <- ob.ob_slots + 1;
   ob.ob_bytes <- ob.ob_bytes + batch_entry_bytes cl.cfg.ship sc;
+  (* The batch message carries the context of its newest slot: by the time
+     it flushes, earlier slots' rendezvous roots have already closed. *)
+  if pos < Array.length chan.sl_span && chan.sl_span.(pos) >= 0 then
+    ob.ob_span <- chan.sl_span.(pos);
   if ob.ob_slots >= cl.cfg.batch_slots then flush_node cl k
 
 let append_order cl k det ~hi =
@@ -701,6 +722,29 @@ let apply_faults cl ~variant sc =
 let live_followers chan =
   Array.fold_left (fun acc d -> if d then acc else acc + 1) 0 chan.fol_done
 
+(* A slot is fully retired once the leader released it AND every live
+   follower's cursor moved past it — the rendezvous root span closes
+   there, so post-release fetches still nest inside it (see Nxe). *)
+let slot_retired cl chan pos =
+  let all = ref true in
+  Array.iteri
+    (fun i c ->
+      if c <= pos && (not chan.fol_done.(i)) && not cl.v_quarantined.(i + 1) then
+        all := false)
+    chan.cursors;
+  !all
+
+(* Reconstruct the calling thread's last run-queue wait as a Sched_wait
+   child of the slot's rendezvous root.  Must run BEFORE any further
+   [M.compute]: the next dispatch overwrites the machine's stamps. *)
+let trace_sched_wait cl tc chan pos ~variant =
+  let node = if variant < 0 then 0 else cl.place.(variant) in
+  let r0, r1 = M.last_ready_wait cl.machines.(node) in
+  if r1 > r0 then
+    ignore
+      (Tx.record_child tc Tx.Sched_wait ~parent:chan.sl_span.(pos) ~node
+         ~variant ~chan:chan.ch_id ~pos ~t0:r0 ~t1:r1)
+
 (* The leader's run-ahead bound uses what it KNOWS: local followers'
    cursors directly, remote followers' last acked cursor — the wire delay
    of flow acks is part of the model, not an implementation shortcut. *)
@@ -717,6 +761,7 @@ let known_min_cursor cl chan =
 
 let leader_sync cl chan sc =
   let m = cl.machines.(0) in
+  let pub_t0 = M.now m in
   M.compute m cl.cfg.checkin_cost;
   let pos = chan.leader_pos in
   ensure_slot chan;
@@ -728,6 +773,21 @@ let leader_sync cl chan sc =
   chan.sl_last.(pos) <- publish_now;
   chan.sl_lastv.(pos) <- 0;
   chan.sl_ship.(pos) <- 0.0;
+  (match cl.cfg.tracer with
+   | Some tc ->
+     let trace = Tx.new_trace tc in
+     let root =
+       Tx.start tc Tx.Rendezvous ~trace ~parent:(-1) ~node:0 ~variant:(-1)
+         ~chan:chan.ch_id ~pos ~t0:pub_t0
+     in
+     chan.sl_trace.(pos) <- trace;
+     chan.sl_span.(pos) <- root;
+     ignore
+       (Tx.record_child tc Tx.Publish ~parent:root ~node:0 ~variant:0
+          ~chan:chan.ch_id ~pos ~t0:pub_t0 ~t1:publish_now)
+   | None ->
+     chan.sl_trace.(pos) <- -1;
+     chan.sl_span.(pos) <- -1);
   chan.sl_len <- pos + 1;
   F.Tape.record chan.tapes.(0) ~pos ~time:publish_now sc;
   touch cl 0;
@@ -749,7 +809,8 @@ let leader_sync cl chan sc =
         M.compute m cl.cfg.msg_cost;
         let bytes = ship_bytes cl.cfg.ship sc in
         cl.tf_ship <- cl.tf_ship + bytes;
-        Net.send cl.net cl.down.(k - 1) ~bytes (fun () ->
+        Net.send_traced cl.net cl.down.(k - 1) ~bytes ~span:chan.sl_span.(pos)
+          ~node:k (fun () ->
             if pos + 1 > chan.rp_len.(k) then chan.rp_len.(k) <- pos + 1;
             wake_node_fols cl chan k)
       end
@@ -783,7 +844,18 @@ let leader_sync cl chan sc =
         end
         else waiting := false
       end
-    done
+    done;
+    (match cl.cfg.tracer with
+     | Some tc when not (aborted cl) ->
+       Tx.extend_t0 tc chan.sl_span.(pos) ~t0:chan.sl_first.(pos);
+       if !blocked then begin
+         trace_sched_wait cl tc chan pos ~variant:0;
+         ignore
+           (Tx.record_child tc Tx.Lockstep_wait ~parent:chan.sl_span.(pos)
+              ~node:0 ~variant:(-1) ~chan:chan.ch_id ~pos ~t0:wait_from
+              ~t1:(M.now m))
+       end
+     | _ -> ())
   end
   else begin
     while
@@ -812,7 +884,8 @@ let leader_sync cl chan sc =
           M.compute m cl.cfg.msg_cost;
           let bytes = release_bytes sc in
           cl.tf_release <- cl.tf_release + bytes;
-          Net.send cl.net cl.down.(k - 1) ~bytes (fun () ->
+          Net.send_traced cl.net cl.down.(k - 1) ~bytes ~span:chan.sl_span.(pos)
+            ~node:k (fun () ->
               if pos + 1 > chan.rp_released.(k) then chan.rp_released.(k) <- pos + 1;
               if pos + 1 > chan.rp_len.(k) then chan.rp_len.(k) <- pos + 1;
               wake_node_fols cl chan k)
@@ -822,7 +895,15 @@ let leader_sync cl chan sc =
       for k = 1 to cl.nodes - 1 do
         if node_active cl k then append_slot cl k chan ~pos sc
       done;
-    wake_fols cl chan
+    wake_fols cl chan;
+    (* The root closes at full retirement; with no live followers the
+       leader's release IS the retirement (otherwise the follower whose
+       consume empties the slot closes it). *)
+    match cl.cfg.tracer with
+    | Some tc when chan.sl_span.(pos) >= 0 ->
+      Tx.extend_t0 tc chan.sl_span.(pos) ~t0:chan.sl_first.(pos);
+      if slot_retired cl chan pos then Tx.finish tc chan.sl_span.(pos) ~t1:(M.now m)
+    | _ -> ()
   end
 
 (* Local follower: exactly the single-host engine's path — it reads the
@@ -838,6 +919,13 @@ let local_follower_sync cl chan ~variant sc =
     cl_wait cl ~variant chan.fol_q.(i)
   done;
   if !blocked_for_slot then Tel.Hist.observe cl.h_wait (M.now m -. wait_from);
+  (* Capture before the resched compute: the next dispatch overwrites the
+     machine's ready-wait stamps. *)
+  let rdy0, rdy1 =
+    match cl.cfg.tracer with
+    | Some _ when !blocked_for_slot -> M.last_ready_wait m
+    | _ -> (0.0, 0.0)
+  in
   if !blocked_for_slot && not (aborted cl) then M.compute m cl.cfg.resched_cost;
   if aborted cl then ()
   else if chan.leader_pos <= pos then begin
@@ -874,6 +962,18 @@ let local_follower_sync cl chan ~variant sc =
         chan.sl_last.(pos) <- wait_from;
         chan.sl_lastv.(pos) <- variant
       end;
+      (match cl.cfg.tracer with
+       | Some tc when chan.sl_span.(pos) >= 0 ->
+         (* t0 clamps to the root's opening; early arrivals invert and
+            are dropped by [record_child]. *)
+         ignore
+           (Tx.record_child tc Tx.Arrival ~parent:chan.sl_span.(pos) ~node:0
+              ~variant ~chan:chan.ch_id ~pos ~t0:neg_infinity ~t1:wait_from);
+         if rdy1 > rdy0 then
+           ignore
+             (Tx.record_child tc Tx.Sched_wait ~parent:chan.sl_span.(pos)
+                ~node:0 ~variant ~chan:chan.ch_id ~pos ~t0:rdy0 ~t1:rdy1)
+       | _ -> ());
       M.Waitq.signal m chan.leader_q;
       let blocked = ref false in
       let ready_from = M.now m in
@@ -883,9 +983,22 @@ let local_follower_sync cl chan ~variant sc =
       done;
       if !blocked then Tel.Hist.observe cl.h_wait (M.now m -. ready_from);
       if not (aborted cl) then begin
+        (match cl.cfg.tracer with
+         | Some tc when !blocked && chan.sl_span.(pos) >= 0 ->
+           trace_sched_wait cl tc chan pos ~variant
+         | _ -> ());
+        let fetch_t0 = M.now m in
         M.compute m (cl.cfg.fetch_cost +. if !blocked then cl.cfg.resched_cost else 0.0);
         chan.cursors.(i) <- pos + 1;
         touch cl variant;
+        (match cl.cfg.tracer with
+         | Some tc when chan.sl_span.(pos) >= 0 ->
+           ignore
+             (Tx.record_child tc Tx.Fetch ~parent:chan.sl_span.(pos) ~node:0
+                ~variant ~chan:chan.ch_id ~pos ~t0:fetch_t0 ~t1:(M.now m));
+           if slot_retired cl chan pos then
+             Tx.finish tc chan.sl_span.(pos) ~t1:(M.now m)
+         | _ -> ());
         M.Waitq.signal m chan.leader_q
       end
     end
@@ -913,6 +1026,12 @@ let remote_follower_sync cl chan ~variant sc =
     end
   done;
   if !blocked_for_slot then Tel.Hist.observe cl.h_wait (M.now m -. wait_from);
+  (* As in the local path: read the ready-wait stamps before any compute. *)
+  let rdy0, rdy1 =
+    match cl.cfg.tracer with
+    | Some _ when !blocked_for_slot -> M.last_ready_wait m
+    | _ -> (0.0, 0.0)
+  in
   if !blocked_for_slot && not (aborted cl) then M.compute m cl.cfg.resched_cost;
   if aborted cl then ()
   else if chan.rp_len.(node) <= pos then begin
@@ -946,11 +1065,28 @@ let remote_follower_sync cl chan ~variant sc =
         }
     else if is_sensitive cl.cfg.ship exp_sc then begin
       (* Remote check: the ack carries this node's verdict (and its
-         current cursor, for free) back to the leader. *)
+         current cursor, for free) back to the leader.  The Arrival span
+         opens at the rendezvous root and closes when the ack lands on
+         node 0 — so a remote straggler's lateness INCLUDES its wire
+         time, with the ack's Net_msg nested inside it; the largest-edge
+         rule then separates "variant slow" from "wire slow". *)
+      let arr =
+        match cl.cfg.tracer with
+        | Some tc when chan.sl_span.(pos) >= 0 ->
+          if rdy1 > rdy0 then
+            ignore
+              (Tx.record_child tc Tx.Sched_wait ~parent:chan.sl_span.(pos)
+                 ~node ~variant ~chan:chan.ch_id ~pos ~t0:rdy0 ~t1:rdy1);
+          Tx.start tc Tx.Arrival ~trace:chan.sl_trace.(pos)
+            ~parent:chan.sl_span.(pos) ~node ~variant ~chan:chan.ch_id ~pos
+            ~t0:(Tx.span_t0 tc chan.sl_span.(pos))
+        | _ -> -1
+      in
       M.compute m cl.cfg.msg_cost;
       let cursor_now = chan.cursors.(i) in
       cl.tf_ack <- cl.tf_ack + ack_bytes;
-      Net.send cl.net cl.up.(node - 1) ~bytes:ack_bytes (fun () ->
+      Net.send_traced cl.net cl.up.(node - 1) ~bytes:ack_bytes ~span:arr
+        ~node:0 (fun () ->
           let t0 = M.now cl.machines.(0) in
           chan.sl_arrived.(pos) <- chan.sl_arrived.(pos) + 1;
           if t0 < chan.sl_first.(pos) then chan.sl_first.(pos) <- t0;
@@ -962,6 +1098,9 @@ let remote_follower_sync cl chan ~variant sc =
             Net.observe_rtt cl.net (t0 -. chan.sl_ship.(pos));
           if cursor_now > chan.kn.(i) then chan.kn.(i) <- cursor_now;
           cl.remote_checked <- cl.remote_checked + 1;
+          (match cl.cfg.tracer with
+           | Some tc when arr >= 0 -> Tx.finish tc arr ~t1:t0
+           | _ -> ());
           M.Waitq.broadcast cl.machines.(0) chan.leader_q);
       let blocked = ref false in
       let ready_from = M.now m in
@@ -971,9 +1110,22 @@ let remote_follower_sync cl chan ~variant sc =
       done;
       if !blocked then Tel.Hist.observe cl.h_wait (M.now m -. ready_from);
       if not (aborted cl) then begin
+        (match cl.cfg.tracer with
+         | Some tc when !blocked && chan.sl_span.(pos) >= 0 ->
+           trace_sched_wait cl tc chan pos ~variant
+         | _ -> ());
+        let fetch_t0 = M.now m in
         M.compute m (cl.cfg.fetch_cost +. if !blocked then cl.cfg.resched_cost else 0.0);
         chan.cursors.(i) <- pos + 1;
         touch cl variant;
+        (match cl.cfg.tracer with
+         | Some tc when chan.sl_span.(pos) >= 0 ->
+           ignore
+             (Tx.record_child tc Tx.Fetch ~parent:chan.sl_span.(pos) ~node
+                ~variant ~chan:chan.ch_id ~pos ~t0:fetch_t0 ~t1:(M.now m));
+           if slot_retired cl chan pos then
+             Tx.finish tc chan.sl_span.(pos) ~t1:(M.now m)
+         | _ -> ());
         maybe_flow cl chan ~variant
       end
     end
@@ -983,9 +1135,28 @@ let remote_follower_sync cl chan ~variant sc =
          stream — no payload crossed the wire for it. *)
       if exp_sc.Sc.klass = Sc.Io_read && cl.cfg.ship = Selective_replicated then
         cl.replicated <- cl.replicated + 1;
+      (match cl.cfg.tracer with
+       | Some tc when chan.sl_span.(pos) >= 0 ->
+         ignore
+           (Tx.record_child tc Tx.Arrival ~parent:chan.sl_span.(pos) ~node
+              ~variant ~chan:chan.ch_id ~pos ~t0:neg_infinity ~t1:wait_from);
+         if rdy1 > rdy0 then
+           ignore
+             (Tx.record_child tc Tx.Sched_wait ~parent:chan.sl_span.(pos)
+                ~node ~variant ~chan:chan.ch_id ~pos ~t0:rdy0 ~t1:rdy1)
+       | _ -> ());
+      let fetch_t0 = M.now m in
       M.compute m cl.cfg.fetch_cost;
       chan.cursors.(i) <- pos + 1;
       touch cl variant;
+      (match cl.cfg.tracer with
+       | Some tc when chan.sl_span.(pos) >= 0 ->
+         ignore
+           (Tx.record_child tc Tx.Fetch ~parent:chan.sl_span.(pos) ~node
+              ~variant ~chan:chan.ch_id ~pos ~t0:fetch_t0 ~t1:(M.now m));
+         if slot_retired cl chan pos then
+           Tx.finish tc chan.sl_span.(pos) ~t1:(M.now m)
+       | _ -> ());
       maybe_flow cl chan ~variant
     end
   end
@@ -1252,7 +1423,10 @@ let run_traces ?(config = default_config) ?machine_config ?working_sets ?sensiti
     | None -> M.create ?telemetry:config.telemetry ()
   in
   let machines = Array.init config.nodes (fun _ -> mk_machine ()) in
-  let net = Net.create ~seed:config.net_seed ?telemetry:config.telemetry () in
+  let net =
+    Net.create ~seed:config.net_seed ?telemetry:config.telemetry
+      ?tracer:config.tracer ()
+  in
   let down =
     Array.init
       (config.nodes - 1)
@@ -1288,7 +1462,7 @@ let run_traces ?(config = default_config) ?machine_config ?working_sets ?sensiti
       outboxes =
         Array.init
           (config.nodes - 1)
-          (fun _ -> { ob_items = []; ob_slots = 0; ob_bytes = 0 });
+          (fun _ -> { ob_items = []; ob_slots = 0; ob_bytes = 0; ob_span = -1 });
       h_wait;
       working_sets;
       sensitivities;

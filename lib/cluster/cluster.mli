@@ -48,6 +48,7 @@ module F := Bunshin_forensics.Forensics
 module Faults := Bunshin_faults.Faults
 module Nxe := Bunshin_nxe.Nxe
 module Net := Bunshin_net.Net
+module Tx := Bunshin_trace_ctx.Trace_ctx
 
 type ship_mode =
   | Full_remote_lockstep  (** naive: every slot round-trips with raw buffers *)
@@ -75,6 +76,15 @@ type config = {
   weak_determinism : bool;   (** replay the leader's lock order everywhere *)
   recorder_depth : int;      (** per-variant flight-recorder window *)
   telemetry : Tel.sink option;
+  tracer : Tx.t option;
+      (** causal-span recorder: every synchronized syscall becomes one
+          trace rooted at the leader's publish, with per-variant arrivals,
+          scheduler waits and the link messages that shipped the slot as
+          children — across all nodes (context rides in the 8 reserved
+          header bytes of every message, see the byte-model note in
+          [net.mli]).  Pure observation: schedules, reports, incident
+          signatures and bytes-on-wire are bit-identical with or without
+          it (pinned by golden tests). *)
   fault_policy : Nxe.fault_policy;
       (** [Restart_once] is not supported on clusters (rejected) *)
 }

@@ -44,6 +44,7 @@ module Variant = Bunshin_variant.Variant
 module Asap = Bunshin_variant.Asap
 module Nxe = Bunshin_nxe.Nxe
 module Net = Bunshin_net.Net
+module Trace_ctx = Bunshin_trace_ctx.Trace_ctx
 module Cluster = Bunshin_cluster.Cluster
 module Faults = Bunshin_faults.Faults
 module Forensics = Bunshin_forensics.Forensics

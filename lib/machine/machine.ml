@@ -86,6 +86,9 @@ and thread = {
   mutable p_run : int;     (* bucket charged while Running *)
   mutable p_wait : int;    (* bucket charged while Blocked *)
   p_acc : float array;     (* phase_slots buckets, us *)
+  (* --- last run-queue wait (Ready -> Running), for causal tracing --- *)
+  mutable t_rdy0 : float;  (* when the thread last became Ready *)
+  mutable t_rdy1 : float;  (* when that wait ended (dispatch time) *)
 }
 
 type tid = thread
@@ -118,6 +121,8 @@ let dummy_thread =
     p_run = 0;
     p_wait = 0;
     p_acc = [||];
+    t_rdy0 = 0.0;
+    t_rdy1 = 0.0;
   }
 
 (* Flat ring deque of threads: the run queue and every wait queue.  A push
@@ -535,6 +540,8 @@ let spawn t ?(daemon = false) proc ~name body =
       p_run = slot_compute;
       p_wait = slot_wait;
       p_acc = Array.make phase_slots 0.0;
+      t_rdy0 = t.clock;
+      t_rdy1 = t.clock;
     }
   in
   th.self_opt <- Some th;
@@ -553,6 +560,10 @@ let current_thread t =
   | None -> invalid_arg "Machine: fiber operation outside a thread body"
 
 let self t = current_thread t
+
+let last_ready_wait t =
+  let th = current_thread t in
+  (th.t_rdy0, th.t_rdy1)
 
 let compute t d =
   let th = current_thread t in
@@ -714,6 +725,10 @@ let resume_fiber t th =
   t.progress <- true;
   let saved = t.current in
   t.current <- th.self_opt;
+  if th.state = Ready then begin
+    th.t_rdy0 <- th.p_since;
+    th.t_rdy1 <- t.clock
+  end;
   charge t th;
   set_state t th Running;
   (match th.k with
@@ -774,6 +789,10 @@ let start_burst t th ci =
      finite, where the two agree bit-for-bit. *)
   let slice = if th.remaining <= t.cfg.quantum then th.remaining else t.cfg.quantum in
   let effective = ctx +. (slice *. mult) in
+  if th.state = Ready then begin
+    th.t_rdy0 <- th.p_since;
+    th.t_rdy1 <- t.clock
+  end;
   charge t th;
   set_state t th Running;
   th.b_ci <- ci;

@@ -214,6 +214,15 @@ val proc_phases : t -> proc -> float array
 val proc_accounted_time : t -> proc -> float
 (** Sum of {!thread_accounted_time} over the process's threads. *)
 
+val last_ready_wait : t -> float * float
+(** [(ready_at, dispatched_at)] of the calling thread's most recent
+    run-queue wait — the Ready interval closed by its latest dispatch.
+    The machine stamps these two floats unconditionally at every
+    Ready->Running transition (no allocation, no schedule effect), so a
+    tracing layer can reconstruct scheduler-wait spans after the fact
+    instead of hooking the dispatcher.  Both are [spawn_time] until the
+    thread has been dispatched at least once.  (Fiber op.) *)
+
 (** {1 Waiting primitives built on park/wake} *)
 
 module Waitq : sig

@@ -2,6 +2,7 @@ module M = Bunshin_machine.Machine
 module Tel = Bunshin_telemetry.Telemetry
 module Rng = Bunshin_util.Rng
 module Server = Bunshin_workloads.Server
+module Tx = Bunshin_trace_ctx.Trace_ctx
 
 type params = {
   latency_us : float;
@@ -49,17 +50,25 @@ type link = {
 type t = {
   n_seed : int;
   n_sink : Tel.sink option;
+  n_tracer : Tx.t option;
   n_rtt : Tel.Hist.t;
   mutable n_links : link list; (* newest first *)
   mutable n_next : int;
 }
 
-let create ?(seed = 0) ?telemetry () =
+let create ?(seed = 0) ?telemetry ?tracer () =
   let rtt = Tel.Hist.create () in
   (match telemetry with
    | Some sink -> ignore (Tel.register_hist sink "net_rtt_us" rtt)
    | None -> ());
-  { n_seed = seed; n_sink = telemetry; n_rtt = rtt; n_links = []; n_next = 0 }
+  {
+    n_seed = seed;
+    n_sink = telemetry;
+    n_tracer = tracer;
+    n_rtt = rtt;
+    n_links = [];
+    n_next = 0;
+  }
 
 let link net ?(params = default_params) ~src ~dst name =
   if not (params.latency_us > 0.0) then
@@ -104,7 +113,7 @@ let link net ?(params = default_params) ~src ~dst name =
 let link_name l = l.l_name
 let transmission_us p bytes = float_of_int bytes /. p.bytes_per_us
 
-let send _net l ~bytes deliver =
+let send_traced net l ~bytes ~span ~node deliver =
   if bytes < 0 then invalid_arg "Net.send: negative size";
   let p = l.l_params in
   let now = M.now l.l_src in
@@ -131,7 +140,22 @@ let send _net l ~bytes deliver =
      Tel.Counter.incr ~by:wire lt.lt_all_bytes;
      Tel.Counter.incr lt.lt_all_msgs
    | None -> ());
-  M.post l.l_dst ~at:(serialized +. p.latency_us) deliver
+  let arrival = serialized +. p.latency_us in
+  (match net.n_tracer with
+   | Some tc when span >= 0 ->
+     (* One span per message, send -> delivery, annotated with the three
+        components of the delay the critical-path walk chooses between:
+        a0 queueing+serialization, a1 propagation, a2 retransmit extra. *)
+     let retrans_extra = float_of_int !retries *. (p.retransmit_us +. txm) in
+     let id =
+       Tx.record_child tc Tx.Net_msg ~parent:span ~node ~variant:(-1) ~chan:(-1)
+         ~pos:(-1) ~t0:now ~t1:arrival
+     in
+     Tx.annotate tc id ~a0:(depart -. now +. txm) ~a1:p.latency_us ~a2:retrans_extra
+   | _ -> ());
+  M.post l.l_dst ~at:arrival deliver
+
+let send net l ~bytes deliver = send_traced net l ~bytes ~span:(-1) ~node:(-1) deliver
 
 let observe_rtt net v = Tel.Hist.observe net.n_rtt v
 let rtt_hist net = net.n_rtt

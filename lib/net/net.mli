@@ -27,6 +27,7 @@
 
 module M := Bunshin_machine.Machine
 module Tel := Bunshin_telemetry.Telemetry
+module Tx := Bunshin_trace_ctx.Trace_ctx
 
 type params = {
   latency_us : float;      (** one-way propagation delay, µs; must be > 0 *)
@@ -52,14 +53,18 @@ type stats = {
   s_retransmits : int; (** lost transmissions that were recovered *)
 }
 
-val create : ?seed:int -> ?telemetry:Tel.sink -> unit -> t
+val create : ?seed:int -> ?telemetry:Tel.sink -> ?tracer:Tx.t -> unit -> t
 (** [seed] (default 0) drives loss draws.  With [telemetry], the interned
     counters [net.bytes_sent] / [net.msgs_sent] (global) and
     [net.<link>.bytes_sent] / [net.<link>.msgs_sent] (per link, resolved
     once at {!link} creation) are registered on the sink, and the always-on
     {!rtt_hist} is shared with it under [net_rtt_us] — all visible in
     [bunshin trace --metrics].  Without it, accounting still accumulates in
-    {!stats}; the delivery schedule is identical either way. *)
+    {!stats}; the delivery schedule is identical either way.  With
+    [tracer], {!send_traced} records one causal
+    {!Bunshin_trace_ctx.Trace_ctx.Net_msg} span per context-carrying
+    message — again pure observation, with the same schedule, stats and
+    byte counts either way. *)
 
 val link : t -> ?params:params -> src:M.t -> dst:M.t -> string -> link
 (** [link net ~src ~dst name]: new unidirectional link.
@@ -76,7 +81,23 @@ val send : t -> link -> bytes:int -> (unit -> unit) -> unit
     is free, and [deliver] runs on the destination machine (in scheduler
     context, like any {!M.post} callback) at the arrival time.  Callable
     from a fiber on the source machine or from a delivery callback
-    (store-and-forward).  @raise Invalid_argument on negative [bytes]. *)
+    (store-and-forward).  @raise Invalid_argument on negative [bytes].
+
+    {b Byte model note.}  Callers size messages themselves (the cluster's
+    wire model): every message carries a fixed header which, as of the
+    causal-tracing change, is 32 bytes — 24 bytes of transport/session
+    header plus 8 bytes of piggybacked trace context (trace id + span id,
+    32-bit each), reserved unconditionally so tracing on/off cannot change
+    bytes-on-wire. *)
+
+val send_traced : t -> link -> bytes:int -> span:int -> node:int -> (unit -> unit) -> unit
+(** {!send}, carrying causal-trace context: when the net has a tracer and
+    [span >= 0], records a {!Bunshin_trace_ctx.Trace_ctx.Net_msg} span
+    under parent [span] covering send -> delivery, annotated with the
+    three delay components the critical-path walk distinguishes
+    (a0 queueing+serialization, a1 propagation, a2 retransmit extra) and
+    stamped with [node] (the receiving side).  Identical wire behavior to
+    {!send} in every case. *)
 
 val observe_rtt : t -> float -> unit
 (** Record one request/response round-trip into the [net_rtt_us]

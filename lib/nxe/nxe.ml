@@ -8,6 +8,7 @@ module Tel = Bunshin_telemetry.Telemetry
 module F = Bunshin_forensics.Forensics
 module Faults = Bunshin_faults.Faults
 module Pr = Bunshin_profile.Profile
+module Tx = Bunshin_trace_ctx.Trace_ctx
 
 type mode = Strict_lockstep | Selective_lockstep
 
@@ -34,6 +35,8 @@ type config = {
   recorder_depth : int;
   telemetry : Tel.sink option;
   fault_policy : fault_policy;
+  tracer : Tx.t option;
+  trace_node : int;
 }
 
 let default_config =
@@ -52,6 +55,8 @@ let default_config =
     recorder_depth = 16;
     telemetry = None;
     fault_policy = default_policy;
+    tracer = None;
+    trace_node = 0;
   }
 
 let selective = { default_config with mode = Selective_lockstep }
@@ -150,7 +155,11 @@ let sc_fork_cost = Sc.base_cost (Sc.fork ())
        entered the sync point, before blocking, so last - first is the
        group wait the straggler caused
      sl_sigdel   cached "is this a signal-delivery marker" so the fetch
-       spin tests a bool, not a string *)
+       spin tests a bool, not a string
+     sl_trace/sl_span   causal-trace context stamped by the leader at
+       publish time ([-1] without a tracer): the propagated ids that let
+       followers — and, through the cluster's link messages, remote
+       nodes — attach their spans to the same rendezvous tree *)
 type chan = {
   ch_id : int;
   ch_path : string; (* identity of the logical thread, equal across variants *)
@@ -161,6 +170,8 @@ type chan = {
   mutable sl_last : float array;
   mutable sl_lastv : int array;
   mutable sl_sigdel : bool array;
+  mutable sl_trace : int array;
+  mutable sl_span : int array;
   mutable sl_len : int;
   mutable leader_pos : int;
   mutable leader_done : bool;
@@ -190,7 +201,9 @@ let ensure_slot chan =
     chan.sl_first <- grow_f chan.sl_first;
     chan.sl_last <- grow_f chan.sl_last;
     chan.sl_lastv <- grow_i chan.sl_lastv;
-    chan.sl_sigdel <- grow_b chan.sl_sigdel
+    chan.sl_sigdel <- grow_b chan.sl_sigdel;
+    chan.sl_trace <- grow_i chan.sl_trace;
+    chan.sl_span <- grow_i chan.sl_span
   end
 
 (* Weak-determinism replay state: one per process path, shared by all
@@ -302,11 +315,22 @@ let do_work nxe ~variant fname cost =
   if f <= 0.0 then M.compute m cost
   else begin
     let self = M.self m in
+    let w0 = M.now m in
     let before = M.thread_phase m self M.slot_compute in
     M.compute m cost;
     let delta = M.thread_phase m self M.slot_compute -. before in
     M.reattribute m ~from_:M.slot_compute ~to_:(Pr.Phase.slot Pr.Phase.Sanitizer)
-      (delta *. f)
+      (delta *. f);
+    match nxe.cfg.tracer with
+    | Some tc ->
+      (* Sanitizer checks run between sync points, so each check is its
+         own one-span trace; a0 carries the sanitizer share of the work. *)
+      let id =
+        Tx.record tc Tx.Sanitizer ~trace:(Tx.new_trace tc) ~parent:(-1)
+          ~node:nxe.cfg.trace_node ~variant ~chan:(-1) ~pos:(-1) ~t0:w0 ~t1:(M.now m)
+      in
+      Tx.annotate tc id ~a0:(delta *. f) ~a1:0.0 ~a2:0.0
+    | None -> ()
   end
 
 (* Follower fetch compute: when the follower blocked, the futex round trip
@@ -381,6 +405,8 @@ let get_chan nxe path =
         sl_last = [||];
         sl_lastv = [||];
         sl_sigdel = [||];
+        sl_trace = [||];
+        sl_span = [||];
         sl_len = 0;
         leader_pos = 0;
         leader_done = false;
@@ -476,6 +502,36 @@ let min_live_cursor chan =
 (* One leader publish releases every parked follower as a single batched
    scheduler operation (same wake order as per-queue broadcasts). *)
 let wake_followers nxe chan = M.Waitq.broadcast_many nxe.machine chan.fol_q
+
+(* ------------------------------------------------------------------ *)
+(* Causal tracing.  The rendezvous root opens when the leader starts its
+   check-in (widened back to the first arrival once known) and closes when
+   the slot is fully retired: after the leader's release AND every live
+   follower's consume — fetches happen post-release, so only that boundary
+   lets fetch spans nest inside the root.  All recording is pure
+   observation: nothing here touches the schedule, and with
+   [config.tracer = None] every site compiles to a no-op test. *)
+
+(* Every live (non-exited, non-quarantined) follower has consumed [pos]. *)
+let slot_retired nxe chan pos =
+  let all = ref true in
+  Array.iteri
+    (fun i c ->
+      if c <= pos && (not chan.fol_done.(i)) && not nxe.v_quarantined.(i + 1) then
+        all := false)
+    chan.cursors;
+  !all
+
+(* Record the calling thread's last run-queue wait as a Sched_wait child
+   of the slot's rendezvous root (dropped if it falls outside it).  Must
+   be called before any further [M.compute]: the next burst dispatch
+   overwrites the machine's last-wait stamps. *)
+let trace_sched_wait nxe tc chan pos ~variant =
+  let r0, r1 = M.last_ready_wait nxe.machine in
+  if r1 > r0 then
+    ignore
+      (Tx.record_child tc Tx.Sched_wait ~parent:chan.sl_span.(pos)
+         ~node:nxe.cfg.trace_node ~variant ~chan:chan.ch_id ~pos ~t0:r0 ~t1:r1)
 
 (* ------------------------------------------------------------------ *)
 (* Fault handling: benign-death / missed-heartbeat verdicts, quarantine,
@@ -699,6 +755,7 @@ let leader_sync nxe chan sc =
      Tel.span_begin tel.t_dom ~tid ~args:[ ("sc", sc.Sc.name) ] ~ts:(M.now m) ~cat:"nxe"
        "publish"
    | None -> ());
+  let pub_t0 = M.now m in
   ph_compute m Pr.Phase.Publish nxe.cfg.checkin_cost;
   let pos = chan.leader_pos in
   ensure_slot chan;
@@ -710,6 +767,25 @@ let leader_sync nxe chan sc =
   chan.sl_last.(pos) <- publish_now;
   chan.sl_lastv.(pos) <- 0;
   chan.sl_sigdel.(pos) <- sc.Sc.name = "signal_delivery";
+  (match nxe.cfg.tracer with
+   | Some tc ->
+     (* The rendezvous root: opens at the leader's check-in (widened back
+        to the first arrival at completion), closes at full retirement.
+        The ids stamped into the slot are the propagated context every
+        later participant hangs its spans off. *)
+     let trace = Tx.new_trace tc in
+     let root =
+       Tx.start tc Tx.Rendezvous ~trace ~parent:(-1) ~node:nxe.cfg.trace_node
+         ~variant:(-1) ~chan:chan.ch_id ~pos ~t0:pub_t0
+     in
+     chan.sl_trace.(pos) <- trace;
+     chan.sl_span.(pos) <- root;
+     ignore
+       (Tx.record_child tc Tx.Publish ~parent:root ~node:nxe.cfg.trace_node ~variant:0
+          ~chan:chan.ch_id ~pos ~t0:pub_t0 ~t1:publish_now)
+   | None ->
+     chan.sl_trace.(pos) <- -1;
+     chan.sl_span.(pos) <- -1);
   chan.sl_len <- pos + 1;
   F.Tape.record chan.tapes.(0) ~pos ~time:publish_now sc;
   touch nxe 0;
@@ -762,6 +838,17 @@ let leader_sync nxe chan sc =
        slot's arrival scalars are final — name the straggler. *)
     if not (aborted nxe) then begin
       let wait = Float.max 0.0 (chan.sl_last.(pos) -. chan.sl_first.(pos)) in
+      (match nxe.cfg.tracer with
+       | Some tc ->
+         Tx.extend_t0 tc chan.sl_span.(pos) ~t0:chan.sl_first.(pos);
+         if !blocked then begin
+           trace_sched_wait nxe tc chan pos ~variant:0;
+           ignore
+             (Tx.record_child tc Tx.Lockstep_wait ~parent:chan.sl_span.(pos)
+                ~node:nxe.cfg.trace_node ~variant:0 ~chan:chan.ch_id ~pos ~t0:wait_from
+                ~t1:(M.now m))
+         end
+       | None -> ());
       (match nxe.profile with
        | Some c ->
          Pr.Collector.record c ~chan:chan.ch_id ~pos ~time:(M.now m)
@@ -798,6 +885,14 @@ let leader_sync nxe chan sc =
        Tel.instant tel.t_dom ~tid ~args:[ ("sc", sc.Sc.name) ] ~ts:(M.now m) ~cat:"nxe"
          "lockstep:release"
      | _ -> ());
+    (match nxe.cfg.tracer with
+     | Some tc ->
+       Tx.extend_t0 tc chan.sl_span.(pos) ~t0:chan.sl_first.(pos);
+       (* With no live follower left the leader is the last participant:
+          retire the root here.  Otherwise the follower advancing the last
+          cursor closes it (fetches happen after this release). *)
+       if live_followers chan = 0 then Tx.finish tc chan.sl_span.(pos) ~t1:(M.now m)
+     | None -> ());
     wake_followers nxe chan
   end;
   match nxe.tel with
@@ -815,6 +910,14 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
     nxe_wait nxe ~variant chan.fol_q.(i)
   done;
   if !blocked_for_slot then Tel.Hist.observe nxe.h_wait (M.now m -. wait_from);
+  (* Capture the dispatch wait that ended the block now: the resched
+     compute below would overwrite the machine's last-wait stamps.  The
+     slot's span context is only valid past the wait (leader published). *)
+  let rdy0, rdy1 =
+    match nxe.cfg.tracer with
+    | Some _ when !blocked_for_slot -> M.last_ready_wait m
+    | _ -> (0.0, 0.0)
+  in
   if !blocked_for_slot && not (aborted nxe) then
     ph_compute m Pr.Phase.Resched nxe.cfg.resched_cost;
   if aborted nxe then ()
@@ -835,6 +938,10 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
       ph_compute m Pr.Phase.Fetch nxe.cfg.fetch_cost;
       chan.cursors.(i) <- pos + 1;
       touch nxe variant;
+      (match nxe.cfg.tracer with
+       | Some tc when chan.sl_span.(pos) >= 0 && slot_retired nxe chan pos ->
+         Tx.finish tc chan.sl_span.(pos) ~t1:(M.now m)
+       | _ -> ());
       M.Waitq.signal m chan.leader_q;
       (match chan.sl_sc.(pos).Sc.args with
        | [ idx ] when Int64.to_int idx < Array.length nxe.signal_handlers ->
@@ -880,6 +987,22 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
         chan.sl_last.(pos) <- wait_from;
         chan.sl_lastv.(pos) <- variant
       end;
+      (match nxe.cfg.tracer with
+       | Some tc when chan.sl_span.(pos) >= 0 ->
+         (* Arrival edge: rendezvous open -> this variant reached the sync
+            point (the straggler edge of the profiler, as a span).  A
+            variant arriving before the root opened cannot be the
+            straggler; record_child drops its inverted interval. *)
+         ignore
+           (Tx.record_child tc Tx.Arrival ~parent:chan.sl_span.(pos)
+              ~node:nxe.cfg.trace_node ~variant ~chan:chan.ch_id ~pos
+              ~t0:neg_infinity ~t1:wait_from);
+         if rdy1 > rdy0 then
+           ignore
+             (Tx.record_child tc Tx.Sched_wait ~parent:chan.sl_span.(pos)
+                ~node:nxe.cfg.trace_node ~variant ~chan:chan.ch_id ~pos ~t0:rdy0
+                ~t1:rdy1)
+       | _ -> ());
       (match nxe.tel with
        | Some tel ->
          Tel.instant tel.t_dom ~tid:(lane nxe chan ~variant)
@@ -894,9 +1017,24 @@ let rec follower_sync_body ?(on_signal = fun _ -> ()) nxe chan ~variant sc =
       done;
       if !blocked then Tel.Hist.observe nxe.h_wait (M.now m -. ready_from);
       if not (aborted nxe) then begin
+        let fetch_t0 = M.now m in
+        (match nxe.cfg.tracer with
+         | Some tc when !blocked && chan.sl_span.(pos) >= 0 ->
+           trace_sched_wait nxe tc chan pos ~variant
+         | _ -> ());
         fetch_compute nxe ~blocked:!blocked;
         chan.cursors.(i) <- pos + 1;
         touch nxe variant;
+        (match nxe.cfg.tracer with
+         | Some tc when chan.sl_span.(pos) >= 0 ->
+           ignore
+             (Tx.record_child tc Tx.Fetch ~parent:chan.sl_span.(pos)
+                ~node:nxe.cfg.trace_node ~variant ~chan:chan.ch_id ~pos ~t0:fetch_t0
+                ~t1:(M.now m));
+           (* The last consume retires the slot and closes the root. *)
+           if slot_retired nxe chan pos then
+             Tx.finish tc chan.sl_span.(pos) ~t1:(M.now m)
+         | _ -> ());
         M.Waitq.signal m chan.leader_q
       end
     end
@@ -970,9 +1108,23 @@ let follower_shared_fetch nxe chan ~variant ~pos dst =
       done;
       if M.now m > ready_from then Tel.Hist.observe nxe.h_wait (M.now m -. ready_from);
       if not (aborted nxe) then begin
+        let fetch_t0 = M.now m in
         fetch_compute nxe ~blocked:!blocked2;
         chan.cursors.(i) <- pos + 1;
         touch nxe variant;
+        (match nxe.cfg.tracer with
+         | Some tc when chan.sl_span.(pos) >= 0 ->
+           ignore
+             (Tx.record_child tc Tx.Arrival ~parent:chan.sl_span.(pos)
+                ~node:nxe.cfg.trace_node ~variant ~chan:chan.ch_id ~pos
+                ~t0:neg_infinity ~t1:wait_from);
+           ignore
+             (Tx.record_child tc Tx.Fetch ~parent:chan.sl_span.(pos)
+                ~node:nxe.cfg.trace_node ~variant ~chan:chan.ch_id ~pos ~t0:fetch_t0
+                ~t1:(M.now m));
+           if slot_retired nxe chan pos then
+             Tx.finish tc chan.sl_span.(pos) ~t1:(M.now m)
+         | _ -> ());
         M.Waitq.signal m chan.leader_q
       end
     end

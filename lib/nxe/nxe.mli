@@ -109,6 +109,19 @@ type config = {
   fault_policy : fault_policy;
       (** what to do when a variant dies benignly or stops heartbeating
           (see {!recovery}); {!default_policy} in {!default_config} *)
+  tracer : Bunshin_trace_ctx.Trace_ctx.t option;
+      (** attach a causal-span recorder: every synchronized syscall
+          becomes one {!Bunshin_trace_ctx.Trace_ctx.Rendezvous} tree
+          (publish, per-variant arrival, lockstep wait, scheduler waits,
+          post-release fetches), and sanitizer checks become standalone
+          spans.  Pure observation into preallocated columns — the
+          {!report}, the schedule and the per-sync allocation budget are
+          unchanged (pinned by the golden and bench tests).  [None]
+          (default) compiles every site to a no-op test. *)
+  trace_node : int;
+      (** node id stamped on locally recorded spans (default 0); the
+          cluster sets it so multi-node trees attribute spans to the
+          machine that produced them *)
 }
 (** All [*_cost] fields are in simulated microseconds — the same unit as
     {!M.config} quanta and every time in {!report}. *)

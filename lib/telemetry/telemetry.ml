@@ -88,6 +88,168 @@ module Hist = struct
   let dump h =
     let k = Array.length h.bounds in
     List.init k (fun i -> (h.bounds.(i), h.counts.(i))) @ [ (infinity, h.counts.(k)) ]
+
+  (* Rank the same way Stats.percentile does (rank over n-1 intervals),
+     then name the bucket holding that rank: the estimate sits at most
+     one bucket width above the exact sample quantile. *)
+  let quantile h p =
+    if h.h_n = 0 then 0.0
+    else begin
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int (h.h_n - 1))) in
+      let rank = if rank < 0 then 0 else if rank > h.h_n - 1 then h.h_n - 1 else rank in
+      let k = Array.length h.bounds in
+      let acc = ref 0 and i = ref 0 and res = ref h.h_max in
+      (try
+         while !i <= k do
+           acc := !acc + h.counts.(!i);
+           if !acc > rank then begin
+             res := (if !i < k then h.bounds.(!i) else h.h_max);
+             raise Exit
+           end;
+           incr i
+         done
+       with Exit -> ());
+      !res
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Windowed SLO monitor: a ring of log-bucketed sub-histograms.  Memory
+   is fixed at creation (sub_windows * (buckets+1) ints plus a few
+   scalars); advancing time zeroes expired sub-windows in place. *)
+
+module Slo = struct
+  type window = {
+    sl_bounds : float array;
+    sl_counts : int array array; (* sub-window -> bucket counts (+overflow) *)
+    sl_max : float array; (* per-sub-window max, for overflow quantiles *)
+    sl_subs : int;
+    sl_sub_us : float;
+    mutable sl_slot : int; (* absolute index of the newest sub-window *)
+    mutable sl_any : bool; (* false until the first observation *)
+  }
+
+  let window ?(sub_windows = 8) ?(sub_us = 10_000.0) ?buckets () =
+    if sub_windows < 1 then invalid_arg "Slo.window: sub_windows must be positive";
+    if not (sub_us > 0.0 && Float.is_finite sub_us) then
+      invalid_arg "Slo.window: sub_us must be positive and finite";
+    let bounds =
+      let h = Hist.create ?buckets () in
+      h.Hist.bounds
+    in
+    {
+      sl_bounds = bounds;
+      sl_counts = Array.init sub_windows (fun _ -> Array.make (Array.length bounds + 1) 0);
+      sl_max = Array.make sub_windows neg_infinity;
+      sl_subs = sub_windows;
+      sl_sub_us = sub_us;
+      sl_slot = 0;
+      sl_any = false;
+    }
+
+  let span_us w = float_of_int w.sl_subs *. w.sl_sub_us
+
+  let advance w ~now =
+    let slot = int_of_float (Float.max 0.0 now /. w.sl_sub_us) in
+    if not w.sl_any then begin
+      w.sl_slot <- slot;
+      w.sl_any <- true
+    end
+    else if slot > w.sl_slot then begin
+      let fresh = min w.sl_subs (slot - w.sl_slot) in
+      for i = 1 to fresh do
+        let s = (w.sl_slot + i) mod w.sl_subs in
+        Array.fill w.sl_counts.(s) 0 (Array.length w.sl_bounds + 1) 0;
+        w.sl_max.(s) <- neg_infinity
+      done;
+      w.sl_slot <- slot
+    end
+
+  let observe w ~now x =
+    advance w ~now;
+    let k = Array.length w.sl_bounds in
+    let i = ref 0 in
+    while !i < k && x > w.sl_bounds.(!i) do
+      incr i
+    done;
+    let s = w.sl_slot mod w.sl_subs in
+    let row = w.sl_counts.(s) in
+    row.(!i) <- row.(!i) + 1;
+    if x > w.sl_max.(s) then w.sl_max.(s) <- x
+
+  let fold_buckets w f init =
+    let k = Array.length w.sl_bounds in
+    let acc = ref init in
+    for b = 0 to k do
+      let c = ref 0 in
+      for s = 0 to w.sl_subs - 1 do
+        c := !c + w.sl_counts.(s).(b)
+      done;
+      acc := f !acc b !c
+    done;
+    !acc
+
+  let count w ~now =
+    advance w ~now;
+    fold_buckets w (fun acc _ c -> acc + c) 0
+
+  let quantile w ~now p =
+    advance w ~now;
+    let n = fold_buckets w (fun acc _ c -> acc + c) 0 in
+    if n = 0 then 0.0
+    else begin
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int (n - 1))) in
+      let rank = if rank < 0 then 0 else if rank > n - 1 then n - 1 else rank in
+      let k = Array.length w.sl_bounds in
+      let live_max =
+        Array.fold_left (fun acc m -> if m > acc then m else acc) neg_infinity w.sl_max
+      in
+      let acc = ref 0 and res = ref live_max and found = ref false in
+      for b = 0 to k do
+        if not !found then begin
+          acc := !acc + fold_buckets w (fun a b' c -> if b' = b then a + c else a) 0;
+          if !acc > rank then begin
+            found := true;
+            res := (if b < k then w.sl_bounds.(b) else live_max)
+          end
+        end
+      done;
+      !res
+    end
+
+  let quantiles w ~now ps = List.map (fun p -> quantile w ~now p) ps
+
+  let bucket_width_at w x =
+    let k = Array.length w.sl_bounds in
+    let i = ref 0 in
+    while !i < k && x > w.sl_bounds.(!i) do
+      incr i
+    done;
+    if !i >= k then w.sl_bounds.(k - 1)
+    else if !i = 0 then w.sl_bounds.(0)
+    else w.sl_bounds.(!i) -. w.sl_bounds.(!i - 1)
+
+  type target = { slo_quantile : float; slo_limit_us : float }
+
+  let breach_fraction w ~now target =
+    advance w ~now;
+    let n = ref 0 and bad = ref 0 in
+    let k = Array.length w.sl_bounds in
+    ignore
+      (fold_buckets w
+         (fun () b c ->
+           n := !n + c;
+           (* bucket b spans (bounds.(b-1), bounds.(b)]; it breaches when
+              its lower edge is already at or above the limit *)
+           let lower = if b = 0 then 0.0 else w.sl_bounds.(b - 1) in
+           if b = k || lower >= target.slo_limit_us then bad := !bad + c)
+         ());
+    if !n = 0 then 0.0 else float_of_int !bad /. float_of_int !n
+
+  let burn_rate w ~now target =
+    let budget = (100.0 -. target.slo_quantile) /. 100.0 in
+    if budget <= 0.0 then invalid_arg "Slo.burn_rate: quantile must be < 100";
+    breach_fraction w ~now target /. budget
 end
 
 type metric = C of Counter.t | G of Gauge.t | H of Hist.t
@@ -317,9 +479,12 @@ let metrics_to_json s =
     pick (function
       | name, H h ->
         Some
-          (Printf.sprintf "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"buckets\":%s}"
+          (Printf.sprintf
+             "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"p999\":%s,\"buckets\":%s}"
              (json_escape name) (Hist.count h) (json_float (Hist.sum h))
              (json_float (Hist.min_value h)) (json_float (Hist.max_value h))
+             (json_float (Hist.quantile h 50.0)) (json_float (Hist.quantile h 95.0))
+             (json_float (Hist.quantile h 99.0)) (json_float (Hist.quantile h 99.9))
              (hist_buckets_json h))
       | _ -> None)
   in
@@ -340,11 +505,59 @@ let metrics_to_text s =
         Buffer.add_string buf
           (Printf.sprintf "hist     %-32s n %d  mean %.2f  min %g  max %g\n" name (Hist.count h)
              (Hist.mean h) (Hist.min_value h) (Hist.max_value h));
+        if Hist.count h > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "         p50 %g  p95 %g  p99 %g  p999 %g\n"
+               (Hist.quantile h 50.0) (Hist.quantile h 95.0) (Hist.quantile h 99.0)
+               (Hist.quantile h 99.9));
         let cell (bound, count) =
           if Float.is_finite bound then Printf.sprintf "<=%g:%d" bound count
           else Printf.sprintf ">last:%d" count
         in
         Buffer.add_string buf
           ("         " ^ String.concat " " (List.map cell (Hist.dump h)) ^ "\n"))
+    (ordered_metrics s);
+  Buffer.contents buf
+
+(* Prometheus text exposition format.  Metric names are sanitized to the
+   legal charset; histogram buckets are emitted cumulatively with the
+   required "+Inf" terminal, plus _sum and _count. *)
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let metrics_to_prometheus s =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (name, m) ->
+      let n = prom_name name in
+      match m with
+      | C c ->
+        p "# TYPE %s counter\n%s %d\n" n n (Counter.value c)
+      | G g ->
+        p "# TYPE %s gauge\n%s %s\n" n n (prom_float (Gauge.last g))
+      | H h ->
+        p "# TYPE %s histogram\n" n;
+        let cum = ref 0 in
+        List.iter
+          (fun (bound, count) ->
+            cum := !cum + count;
+            p "%s_bucket{le=\"%s\"} %d\n" n
+              (if Float.is_finite bound then prom_float bound else "+Inf")
+              !cum)
+          (Hist.dump h);
+        p "%s_sum %s\n%s_count %d\n" n (prom_float (Hist.sum h)) n (Hist.count h))
     (ordered_metrics s);
   Buffer.contents buf

@@ -137,6 +137,12 @@ module Hist : sig
   (** [(upper_bound, count)] per bucket, ending with the [(infinity, n)]
       overflow bucket — the same shape {!Bunshin_util.Stats.histogram}
       returns. *)
+
+  val quantile : t -> float -> float
+  (** [quantile h p] with [p] in [\[0,100\]]: the upper bound of the
+      bucket holding the rank-[p] observation — i.e. an estimate no more
+      than one bucket width above the exact sample quantile.  Ranks that
+      land in the overflow bucket return {!max_value}; 0. when empty. *)
 end
 
 val counter : sink -> string -> Counter.t
@@ -152,6 +158,61 @@ val register_hist : sink -> string -> Hist.t -> string
 (** Share an externally-owned histogram under [name]; on collision the
     name is suffixed ["#2"], ["#3"], ...  Returns the name actually used. *)
 
+(** {1 Windowed SLO monitoring}
+
+    Live tail percentiles over a sliding time window, in bounded memory:
+    a ring of [sub_windows] log-bucketed sub-histograms, each covering
+    [sub_us] of simulated time.  Advancing time recycles expired
+    sub-windows in place, so a monitor allocates nothing after creation
+    and always answers from the last [sub_windows * sub_us]
+    microseconds.  Quantiles carry the same one-bucket-width error bound
+    as {!Hist.quantile} (pinned against [Stats.percentile] in the test
+    suite). *)
+
+module Slo : sig
+  type window
+
+  val window : ?sub_windows:int -> ?sub_us:float -> ?buckets:float list -> unit -> window
+  (** Default: 8 sub-windows of 10,000 µs each over
+      {!Hist.default_buckets}.
+      @raise Invalid_argument on a non-positive ring or span. *)
+
+  val span_us : window -> float
+  (** Total window span = sub_windows * sub_us. *)
+
+  val observe : window -> now:float -> float -> unit
+  (** Record a sample at simulated time [now].  [now] must not move
+      backwards by more than the window span; stale samples land in the
+      oldest live sub-window. *)
+
+  val count : window -> now:float -> int
+  (** Samples still inside the window at [now]. *)
+
+  val quantile : window -> now:float -> float -> float
+  (** Live quantile over the window (bucket upper bound; 0. when empty). *)
+
+  val quantiles : window -> now:float -> float list -> float list
+
+  val bucket_width_at : window -> float -> float
+  (** Width of the bucket a value falls in — the error bound the
+      agreement test asserts. *)
+
+  type target = {
+    slo_quantile : float;  (** e.g. 99.0 *)
+    slo_limit_us : float;  (** the latency objective at that quantile *)
+  }
+
+  val breach_fraction : window -> now:float -> target -> float
+  (** Fraction of windowed samples above [slo_limit_us] (resolved at
+      bucket granularity: a sample counts as a breach when its whole
+      bucket lies above the limit). *)
+
+  val burn_rate : window -> now:float -> target -> float
+  (** {!breach_fraction} over the target's error budget
+      [(100 - slo_quantile) / 100]: 1.0 burns the budget exactly,
+      above 1.0 violates the SLO. *)
+end
+
 (** {1 Exporters} *)
 
 val to_chrome_json : sink -> string
@@ -163,4 +224,11 @@ val metrics_to_json : sink -> string
 (** Flat dump: [{"counters":{...},"gauges":{...},"histograms":{...}}]. *)
 
 val metrics_to_text : sink -> string
-(** Human-readable one-metric-per-line dump (histograms take two lines). *)
+(** Human-readable one-metric-per-line dump (histograms take three
+    lines: summary with tail percentiles, then buckets). *)
+
+val metrics_to_prometheus : sink -> string
+(** Prometheus text exposition format: counters and gauges as scalar
+    samples, histograms as cumulative [_bucket{le="..."}] series with
+    [_sum]/[_count] — scrape-ready without new tooling.  Metric names
+    are sanitized to [[a-zA-Z0-9_:]]. *)

@@ -42,6 +42,29 @@ let percentile p xs =
       let frac = rank -. float_of_int lo in
       a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
 
+(* Single-sort multi-quantile: one [Array.sort] serves every requested
+   rank, where calling [percentile] k times would sort k times.  The
+   rank arithmetic is identical to [percentile]'s, so the two agree
+   exactly (pinned in test_util). *)
+let percentiles samples ps =
+  let n = Array.length samples in
+  if n = 0 then List.map (fun _ -> 0.0) ps
+  else begin
+    let a = Array.copy samples in
+    Array.sort compare a;
+    List.map
+      (fun p ->
+        if n = 1 then a.(0)
+        else
+          let rank = p /. 100.0 *. float_of_int (n - 1) in
+          let lo = int_of_float (floor rank) in
+          let lo = if lo < 0 then 0 else if lo > n - 1 then n - 1 else lo in
+          let hi = min (n - 1) (lo + 1) in
+          let frac = rank -. float_of_int lo in
+          a.(lo) +. (frac *. (a.(hi) -. a.(lo))))
+      ps
+  end
+
 let minimum = function [] -> 0.0 | x :: xs -> List.fold_left min x xs
 let maximum = function [] -> 0.0 | x :: xs -> List.fold_left max x xs
 

@@ -15,6 +15,13 @@ val median : float list -> float
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [\[0,100\]], linear interpolation. *)
 
+val percentiles : float array -> float list -> float list
+(** [percentiles samples ps] computes every quantile in [ps] (each in
+    [\[0,100\]]) from one sort of [samples] — use instead of repeated
+    [percentile] calls over the same sample (p50/p95/p99/p999 reports).
+    Agrees exactly with [percentile] on each rank; [samples] is not
+    modified.  Returns all zeros on an empty array. *)
+
 val minimum : float list -> float
 val maximum : float list -> float
 val sum : float list -> float

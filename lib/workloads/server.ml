@@ -95,6 +95,15 @@ let make kind ~file_kb ~connections ~requests =
     unsupported_reason = None;
   }
 
+(* Live-monitoring SLO for synchronized-syscall rendezvous latency: the
+   sync point's budget is a small multiple of the raw syscall cost (the
+   paper's overhead target is "low single-digit percent" on
+   syscall-dominated servers), scaled up for nginx whose four workers
+   contend for the leader's ring.  [slo_error_budget] is the tolerated
+   breach fraction backing burn-rate alerts (1% of rendezvous may miss). *)
+let slo_target_us = function Lighttpd -> 12.0 | Nginx -> 20.0
+let slo_error_budget = 0.01
+
 let per_request_us ~kind ~file_kb ~requests ~total_time =
   (* Per-request processing time: each worker handles requests/workers
      requests serially; the shared-wire transmission gap is not

@@ -24,3 +24,14 @@ val per_request_us :
 val network_gap_us : file_kb:int -> float
 val kind_name : kind -> string
 val workers : kind -> int
+
+val slo_target_us : kind -> float
+(** Rendezvous-latency SLO for live monitoring ([bunshin slo]): the
+    budget for one synchronized syscall, a small multiple of the raw
+    syscall cost (nginx's is looser — four workers contend for the
+    leader's ring). *)
+
+val slo_error_budget : float
+(** Tolerated breach fraction behind burn-rate computation: a burn rate
+    of 1.0 means breaches exactly consume the budget (1% of rendezvous);
+    above 1.0 the SLO is being spent faster than provisioned. *)

@@ -387,6 +387,108 @@ let test_negative_cost_rejected () =
   | _ -> Alcotest.fail "negative checkin_cost accepted"
   | exception Invalid_argument _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Windowed SLO monitor *)
+
+module Slo = Tel.Slo
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_slo_count_and_rotation () =
+  let w = Slo.window ~sub_windows:4 ~sub_us:100.0 () in
+  Alcotest.(check (float 1e-9)) "span" 400.0 (Slo.span_us w);
+  Slo.observe w ~now:50.0 5.0;
+  Slo.observe w ~now:150.0 5.0;
+  Alcotest.(check int) "both inside" 2 (Slo.count w ~now:150.0);
+  (* Advancing recycles whole sub-windows in place: at now=450 the
+     sub-window holding the sample from t=50 has rotated out. *)
+  Alcotest.(check int) "oldest sub-window expired" 1 (Slo.count w ~now:450.0);
+  Alcotest.(check int) "all expired" 0 (Slo.count w ~now:900.0);
+  Alcotest.(check (float 1e-9)) "empty quantile is 0" 0.0
+    (Slo.quantile w ~now:900.0 99.0)
+
+let test_slo_quantile_agrees_with_stats () =
+  (* The pinned agreement bound: a live windowed quantile may sit at most
+     one log-bucket width above the exact sample quantile. *)
+  let w = Slo.window ~sub_windows:8 ~sub_us:1000.0 () in
+  let samples =
+    List.init 200 (fun i -> 1.0 +. (float_of_int ((i * 37) mod 997) *. 5.0))
+  in
+  List.iteri (fun i x -> Slo.observe w ~now:(float_of_int i *. 10.0) x) samples;
+  let now = 2000.0 in
+  List.iter
+    (fun p ->
+      let live = Slo.quantile w ~now p in
+      let exact = Stats.percentile p samples in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g live %.2f within a bucket of exact %.2f" p live exact)
+        true
+        (Float.abs (live -. exact)
+         <= Slo.bucket_width_at w (Float.max live exact)))
+    [ 50.0; 90.0; 99.0; 99.9 ];
+  Alcotest.(check int) "all samples live" 200 (Slo.count w ~now);
+  (* [quantiles] is just the mapped form. *)
+  Alcotest.(check (list (float 1e-9)))
+    "quantiles = map quantile"
+    [ Slo.quantile w ~now 50.0; Slo.quantile w ~now 99.0 ]
+    (Slo.quantiles w ~now [ 50.0; 99.0 ])
+
+let test_slo_breach_and_burn () =
+  let w = Slo.window ~sub_windows:2 ~sub_us:1000.0 () in
+  (* 90 good samples in the (2,5] bucket, 10 bad ones in (20,50] — with
+     a 10 µs limit only the bad bucket lies wholly above it. *)
+  for i = 0 to 89 do
+    Slo.observe w ~now:(float_of_int i) 5.0
+  done;
+  for i = 90 to 99 do
+    Slo.observe w ~now:(float_of_int i) 50.0
+  done;
+  let target = { Slo.slo_quantile = 99.0; slo_limit_us = 10.0 } in
+  Alcotest.(check (float 1e-9)) "breach fraction" 0.1
+    (Slo.breach_fraction w ~now:100.0 target);
+  Alcotest.(check (float 1e-9)) "burn rate = breach / error budget" 10.0
+    (Slo.burn_rate w ~now:100.0 target);
+  let tight = { Slo.slo_quantile = 99.0; slo_limit_us = 1000.0 } in
+  Alcotest.(check (float 1e-9)) "no breach, no burn" 0.0
+    (Slo.burn_rate w ~now:100.0 tight)
+
+let test_slo_validation () =
+  (match Slo.window ~sub_windows:0 () with
+   | _ -> Alcotest.fail "zero sub-windows accepted"
+   | exception Invalid_argument _ -> ());
+  match Slo.window ~sub_us:0.0 () with
+  | _ -> Alcotest.fail "zero sub-window span accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_prometheus_format () =
+  let sink = Tel.create () in
+  Tel.Counter.incr ~by:3 (Tel.counter sink "net.bytes_sent");
+  Tel.Gauge.set (Tel.gauge sink "slo.p99-us") 2.5;
+  let h = Tel.hist ~buckets:[ 1.0; 10.0 ] sink "lat" in
+  Tel.Hist.observe h 0.5;
+  Tel.Hist.observe h 5.0;
+  Tel.Hist.observe h 50.0;
+  let out = Tel.metrics_to_prometheus sink in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
+        (contains out needle))
+    [
+      (* names sanitized to [a-zA-Z0-9_:] *)
+      "# TYPE net_bytes_sent counter\nnet_bytes_sent 3\n";
+      "# TYPE slo_p99_us gauge\nslo_p99_us 2.5\n";
+      "# TYPE lat histogram\n";
+      (* cumulative buckets with the implicit +Inf overflow *)
+      "lat_bucket{le=\"1\"} 1\n";
+      "lat_bucket{le=\"10\"} 2\n";
+      "lat_bucket{le=\"+Inf\"} 3\n";
+      "lat_sum 55.5\n";
+      "lat_count 3\n";
+    ]
+
 let () =
   Alcotest.run "bunshin_telemetry"
     [
@@ -411,6 +513,15 @@ let () =
           Alcotest.test_case "interp domain" `Quick test_interp_domain;
           Alcotest.test_case "variant lanes named" `Quick test_variant_lanes_named;
           Alcotest.test_case "metrics keys sorted" `Quick test_metrics_sorted;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "count and rotation" `Quick test_slo_count_and_rotation;
+          Alcotest.test_case "quantile agrees with stats" `Quick
+            test_slo_quantile_agrees_with_stats;
+          Alcotest.test_case "breach and burn" `Quick test_slo_breach_and_burn;
+          Alcotest.test_case "validation" `Quick test_slo_validation;
+          Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
         ] );
       ( "neutrality",
         [

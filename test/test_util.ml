@@ -195,6 +195,26 @@ let test_stats_percentile () =
   check_float "p100" 40.0 (Stats.percentile 100.0 xs);
   check_float "p50" 25.0 (Stats.percentile 50.0 xs)
 
+let test_stats_percentiles_agree () =
+  (* The single-sort multi-quantile helper must agree exactly with the
+     one-rank-at-a-time [percentile] — same rank arithmetic, one sort. *)
+  let xs = [ 12.0; 3.5; 99.0; 0.25; 47.0; 47.0; 8.0 ] in
+  let ps = [ 0.0; 25.0; 50.0; 90.0; 99.0; 99.9; 100.0 ] in
+  let multi = Stats.percentiles (Array.of_list xs) ps in
+  List.iter2
+    (fun p v -> check_float (Printf.sprintf "p%g" p) (Stats.percentile p xs) v)
+    ps multi
+
+let test_stats_percentiles_edges () =
+  Alcotest.(check (list (float 1e-9))) "empty -> zeros" [ 0.0; 0.0 ]
+    (Stats.percentiles [||] [ 50.0; 99.0 ]);
+  Alcotest.(check (list (float 1e-9))) "singleton" [ 7.0; 7.0 ]
+    (Stats.percentiles [| 7.0 |] [ 0.0; 100.0 ]);
+  let a = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.percentiles a [ 50.0 ]);
+  Alcotest.(check (list (float 1e-9))) "input not modified" [ 3.0; 1.0; 2.0 ]
+    (Array.to_list a)
+
 let test_stats_overhead () =
   check_float "7% slowdown" 0.07 (Stats.overhead ~baseline:100.0 ~measured:107.0);
   check_float "speedup negative" (-0.5) (Stats.overhead ~baseline:2.0 ~measured:1.0)
@@ -314,6 +334,18 @@ let prop_percentile_bounded =
       let v = Stats.percentile p xs in
       v >= Stats.minimum xs -. 1e-9 && v <= Stats.maximum xs +. 1e-9)
 
+let prop_percentiles_agree =
+  QCheck.Test.make ~name:"stats: percentiles agrees with percentile" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 40) (float_range (-1e3) 1e3))
+        (list_of_size Gen.(1 -- 8) (float_range 0.0 100.0)))
+    (fun (xs, ps) ->
+      let multi = Stats.percentiles (Array.of_list xs) ps in
+      List.for_all2
+        (fun p v -> Float.abs (v -. Stats.percentile p xs) <= 1e-9)
+        ps multi)
+
 let prop_mean_between_min_max =
   QCheck.Test.make ~name:"stats: mean within min/max" ~count:300
     QCheck.(list_of_size Gen.(1 -- 50) (float_range (-1e3) 1e3))
@@ -355,6 +387,8 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "median" `Quick test_stats_median;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentiles agree" `Quick test_stats_percentiles_agree;
+          Alcotest.test_case "percentiles edges" `Quick test_stats_percentiles_edges;
           Alcotest.test_case "overhead" `Quick test_stats_overhead;
           Alcotest.test_case "pct" `Quick test_stats_pct;
           Alcotest.test_case "minmax" `Quick test_stats_minmax;
@@ -378,6 +412,7 @@ let () =
             prop_rng_int_in_range;
             prop_shuffle_preserves_multiset;
             prop_percentile_bounded;
+            prop_percentiles_agree;
             prop_mean_between_min_max;
           ] );
     ]
