@@ -1531,6 +1531,98 @@ let slo_data () =
 let slo_section () = write_bench_json "BENCH_slo.json" (slo_data ())
 
 (* ------------------------------------------------------------------ *)
+(* Serving front-end: the throughput-latency curve of an NXE group pool
+   under open-loop load.  Offered load is swept as multiples of the
+   pool's capacity knee (pool / mean service time); past the knee the
+   bounded admission queue must turn overload into rejections, not into
+   an unbounded latency collapse.  Arrivals are seeded and every number
+   is simulated time, so the whole curve is deterministic: counts are
+   pinned exactly, latencies to JSON rounding.  The section also
+   re-checks neutrality structurally: pooled group reports must be
+   bit-identical to solo replays of the same requests. *)
+
+let serve_data () =
+  section "Serving: NXE group pool under open-loop load (admission control)";
+  let quick = !quick_mode in
+  let requests = if quick then 150 else 400 in
+  let t =
+    Table.create
+      [
+        ("workload", Table.Left); ("x knee", Table.Right); ("offered", Table.Right);
+        ("thrpt", Table.Right); ("done", Table.Right); ("rej%", Table.Right);
+        ("p50", Table.Right); ("p99", Table.Right); ("p999", Table.Right);
+        ("batch/wake", Table.Right); ("grps", Table.Right);
+      ]
+  in
+  let suites = ref [] in
+  let run_kind kind mults =
+    let src =
+      Serve.jittered ~jitter:0.3 ~seed:43
+        (Serve.server_source ~n:3 kind ~file_kb:1 ~connections:16)
+    in
+    let config = { Serve.default_config with seed = 42 } in
+    let service = (Serve.solo_report ~config src ~req_id:0).Nxe.total_time in
+    let knee = float_of_int config.Serve.pool_capacity *. 1e6 /. service in
+    List.iter
+      (fun mult ->
+        let keep = mult >= 2.0 in
+        let config = { config with Serve.keep_reports = keep } in
+        let r = Serve.run ~config src ~offered_rps:(mult *. knee) ~requests in
+        (* Conservation is structural (Serve.run faults on a double or
+           missing resolution); neutrality is re-proven here on the
+           saturated point: every retained pooled report must be
+           bit-identical to a solo replay. *)
+        if keep then
+          List.iteri
+            (fun i (rid, rep) ->
+              if i mod 50 = 0
+                 && Nxe.report_signature rep
+                    <> Nxe.report_signature (Serve.solo_report ~config src ~req_id:rid)
+              then begin
+                Printf.eprintf "serve bench: pooled report for request %d differs from solo\n"
+                  rid;
+                exit 1
+              end)
+            r.Serve.sv_reports;
+        let batch_factor =
+          float_of_int r.Serve.sv_poll_events
+          /. float_of_int (max 1 r.Serve.sv_poll_wakeups)
+        in
+        Table.add_row t
+          [
+            Server.kind_name kind; Printf.sprintf "%.2f" mult;
+            Printf.sprintf "%.0f" r.Serve.sv_offered_rps;
+            Printf.sprintf "%.0f" r.Serve.sv_throughput_rps;
+            string_of_int r.Serve.sv_completed;
+            Printf.sprintf "%.1f" (100.0 *. r.Serve.sv_rejection_rate);
+            Printf.sprintf "%.1f" r.Serve.sv_p50; Printf.sprintf "%.1f" r.Serve.sv_p99;
+            Printf.sprintf "%.1f" r.Serve.sv_p999; Printf.sprintf "%.1f" batch_factor;
+            string_of_int r.Serve.sv_peak_groups;
+          ];
+        suites :=
+          ( Printf.sprintf "%s_x%g" (Server.kind_name kind) mult,
+            [
+              ("completed", float_of_int r.Serve.sv_completed);
+              ("rejected", float_of_int r.Serve.sv_rejected);
+              ("sim_makespan_us", r.Serve.sv_makespan);
+              ("p50_us", r.Serve.sv_p50);
+              ("p99_us", r.Serve.sv_p99);
+              ("p999_us", r.Serve.sv_p999);
+              ("rejection_rate_pct", 100.0 *. r.Serve.sv_rejection_rate);
+              ("batch_factor", batch_factor);
+              ("peak_groups", float_of_int r.Serve.sv_peak_groups);
+            ] )
+          :: !suites)
+      mults
+  in
+  run_kind Server.Lighttpd [ 0.5; 1.0; 2.0; 4.0 ];
+  run_kind Server.Nginx [ 0.5; 2.0 ];
+  Table.print t;
+  Gate.emit_json ~section:"serve" ~quick (List.rev !suites)
+
+let serve_section () = write_bench_json "BENCH_serve.json" (serve_data ())
+
+(* ------------------------------------------------------------------ *)
 (* Perf-regression gate: `diff SECTION' re-runs the section in memory and
    compares it against the committed BENCH_SECTION.json baseline. *)
 
@@ -1596,6 +1688,24 @@ let gate_specs =
         Gate.threshold ~tolerance:0.01 "burn_rate";
         Gate.threshold ~tolerance:0.01 "straggler_share_pct";
         Gate.threshold ~tolerance:0.01 "link_share_pct";
+      ] );
+    ( "serve",
+      serve_data,
+      [
+        (* The whole serving curve is simulated and seeded: request
+           accounting (conservation) is exact integers, latency
+           quantiles and the makespan carry only JSON rounding slack.
+           The batching factor is higher-is-better — a regression there
+           means the epoll-style coalescing stopped amortizing. *)
+        Gate.threshold ~tolerance:0.0 "completed";
+        Gate.threshold ~tolerance:0.0 "rejected";
+        Gate.threshold ~tolerance:0.0 "peak_groups";
+        Gate.threshold ~tolerance:0.01 "sim_makespan_us";
+        Gate.threshold ~tolerance:0.01 "p50_us";
+        Gate.threshold ~tolerance:0.01 "p99_us";
+        Gate.threshold ~tolerance:0.01 "p999_us";
+        Gate.threshold ~tolerance:0.01 "rejection_rate_pct";
+        Gate.threshold ~direction:Gate.Higher_is_better ~tolerance:0.01 "batch_factor";
       ] );
   ]
 
@@ -1854,6 +1964,7 @@ let sections =
     ("nxe", nxe_section);
     ("net", net_section);
     ("slo", slo_section);
+    ("serve", serve_section);
   ]
 
 let () =

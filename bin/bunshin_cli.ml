@@ -1148,6 +1148,212 @@ let slo_cmd =
           $ sub_windows_arg $ sub_us_arg $ prometheus_flag $ json_flag $ spans_flag
           $ spans_out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve: open-loop load over a pool of NXE groups -> throughput-latency
+   curve with admission control *)
+
+let serve_cmd =
+  let kind_arg =
+    let kconv =
+      Arg.conv
+        ( (fun s ->
+            match s with
+            | "lighttpd" -> Ok Server.Lighttpd
+            | "nginx" -> Ok Server.Nginx
+            | s -> Error (`Msg (Printf.sprintf "unknown server %S (lighttpd|nginx)" s))),
+          fun fmt k -> Format.fprintf fmt "%s" (Server.kind_name k) )
+    in
+    Arg.(value & opt kconv Server.Lighttpd
+         & info [ "kind" ] ~docv:"SERVER" ~doc:"Server workload: lighttpd or nginx.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 300
+         & info [ "requests" ] ~docv:"R" ~doc:"Requests per offered-load point.")
+  in
+  let pool_arg =
+    Arg.(value & opt int 8 & info [ "pool" ] ~docv:"G" ~doc:"Max concurrent NXE groups.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"Q"
+             ~doc:"Admission-queue capacity; arrivals beyond it are rejected (backpressure).")
+  in
+  let batch_arg =
+    Arg.(value & opt int 4
+         & info [ "batch" ] ~docv:"B" ~doc:"Max requests handed to a group per dispatch.")
+  in
+  let rps_arg =
+    Arg.(value & opt (list float) []
+         & info [ "rps" ] ~docv:"RPS,..."
+             ~doc:"Offered-load points (requests/s).  Default: a geometric sweep around \
+                   the pool's capacity knee.")
+  in
+  let file_kb_arg =
+    Arg.(value & opt int 1 & info [ "file-kb" ] ~docv:"KB" ~doc:"Response size per request.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Arrival-process seed.")
+  in
+  let jitter_arg =
+    Arg.(value & opt float 0.3
+         & info [ "jitter" ] ~docv:"J"
+             ~doc:"Per-request service-time jitter, uniform in [1-J, 1+J].")
+  in
+  let verify_arg =
+    Arg.(value & opt int 3
+         & info [ "verify" ] ~docv:"K"
+             ~doc:"Replay K served requests solo and require the pooled group reports \
+                   to be bit-identical (neutrality).")
+  in
+  let ir_flag =
+    Arg.(value & flag
+         & info [ "ir" ]
+             ~doc:"Serve the IR request kernel: variants are Interp.compile'd once and \
+                   shared by every group (compile-once reuse).")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Also emit the curve as one JSON object.")
+  in
+  let run kind n requests pool queue batch rps_list file_kb seed jitter verify ir json =
+    let src0, compiles =
+      if ir then
+        let s, c = Experiments.serve_ir_source ~n () in
+        (s, Some c)
+      else (Serve.server_source ~n kind ~file_kb ~connections:16, None)
+    in
+    let src = Serve.jittered ~jitter ~seed:(seed + 1) src0 in
+    (* Size the sweep and the SLO from the workload itself: one solo run
+       gives the mean-ish service time, the pool gives the capacity knee. *)
+    let service = (Serve.solo_report src ~req_id:0).Nxe.total_time in
+    let knee = float_of_int pool *. 1e6 /. service in
+    let points =
+      if rps_list <> [] then rps_list
+      else List.map (fun f -> f *. knee) [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+    in
+    let slo_limit = 6.0 *. service in
+    let config =
+      {
+        Serve.default_config with
+        pool_capacity = pool;
+        queue_capacity = queue;
+        batch;
+        seed;
+        keep_reports = true;
+        slo = { Telemetry.Slo.slo_quantile = 99.0; slo_limit_us = slo_limit };
+      }
+    in
+    Printf.printf "serve: %s x%d, %d requests/point, pool %d, queue %d, batch %d\n"
+      (if ir then "ir-kernel" else Server.kind_name kind)
+      n requests pool queue batch;
+    Printf.printf "mean service %.1f us/request -> capacity knee ~%.0f rps (pool %d)\n" service
+      knee pool;
+    let reports = Serve.sweep ~config src ~offered_rps:points ~requests in
+    let t =
+      Table.create
+        [
+          ("offered rps", Table.Right); ("throughput", Table.Right); ("done", Table.Right);
+          ("rej%", Table.Right); ("p50", Table.Right); ("p95", Table.Right);
+          ("p99", Table.Right); ("p999", Table.Right); ("live p99", Table.Right);
+          ("burn", Table.Right); ("grps", Table.Right); ("batch/wake", Table.Right);
+        ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row t
+          [
+            Printf.sprintf "%.0f" r.Serve.sv_offered_rps;
+            Printf.sprintf "%.0f" r.Serve.sv_throughput_rps;
+            string_of_int r.Serve.sv_completed;
+            Printf.sprintf "%.1f" (100.0 *. r.Serve.sv_rejection_rate);
+            Printf.sprintf "%.1f" r.Serve.sv_p50;
+            Printf.sprintf "%.1f" r.Serve.sv_p95;
+            Printf.sprintf "%.1f" r.Serve.sv_p99;
+            Printf.sprintf "%.1f" r.Serve.sv_p999;
+            Printf.sprintf "%.1f" r.Serve.sv_live_p99;
+            Printf.sprintf "%.2f" r.Serve.sv_burn_rate;
+            string_of_int r.Serve.sv_peak_groups;
+            Printf.sprintf "%.1f"
+              (float_of_int r.Serve.sv_poll_events
+              /. float_of_int (max 1 r.Serve.sv_poll_wakeups));
+          ])
+      reports;
+    Table.print t;
+    (match compiles with
+     | Some c ->
+       let total_served =
+         List.fold_left (fun acc r -> acc + r.Serve.sv_completed + r.Serve.sv_faulted) 0 reports
+       in
+       let total_groups = List.fold_left (fun acc r -> acc + r.Serve.sv_groups_spawned) 0 reports in
+       Printf.printf "precompiled variants: %d compiles shared across %d groups and %d requests\n"
+         !c total_groups total_served
+     | None -> ());
+    (* Saturation: offered load beyond the knee must turn into rejections,
+       not an unbounded latency collapse of the admitted requests. *)
+    let unsat = List.filter (fun r -> r.Serve.sv_rejection_rate <= 0.01) reports in
+    let sat = List.filter (fun r -> r.Serve.sv_rejection_rate > 0.01) reports in
+    (match (List.rev unsat, List.rev sat) with
+     | pre :: _, top :: _ ->
+       Printf.printf
+         "admission control: at %.0f rps admitted p99 is %.1f us (vs %.1f us pre-knee, \
+          %.1fx) while %.1f%% of arrivals are rejected\n"
+         top.Serve.sv_offered_rps top.Serve.sv_p99 pre.Serve.sv_p99
+         (top.Serve.sv_p99 /. Float.max 1e-9 pre.Serve.sv_p99)
+         (100.0 *. top.Serve.sv_rejection_rate)
+     | _, [] -> Printf.printf "admission control: no point saturated (all rejection rates <= 1%%)\n"
+     | [], _ -> Printf.printf "admission control: every point saturated; raise --pool or lower --rps\n");
+    (* Neutrality: the pool is pure queueing around the engine. *)
+    (if verify > 0 then
+       match List.rev reports with
+       | [] -> ()
+       | top :: _ ->
+         let reps = top.Serve.sv_reports in
+         let total = List.length reps in
+         let k = min verify total in
+         if k > 0 then begin
+           let step = max 1 (total / k) in
+           let picks =
+             List.filteri (fun i _ -> i mod step = 0) reps |> List.filteri (fun i _ -> i < k)
+           in
+           let ok =
+             List.filter
+               (fun (rid, rep) ->
+                 Nxe.report_signature rep
+                 = Nxe.report_signature (Serve.solo_report ~config src ~req_id:rid))
+               picks
+           in
+           Printf.printf "neutrality: %d/%d pooled group reports bit-identical to solo replays\n"
+             (List.length ok) (List.length picks);
+           if List.length ok <> List.length picks then exit 1
+         end);
+    if json then begin
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf "{\"points\":[";
+      List.iteri
+        (fun i r ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"offered_rps\":%.1f,\"throughput_rps\":%.1f,\"completed\":%d,\
+                \"rejected\":%d,\"rejection_rate\":%.4f,\"p50_us\":%.2f,\"p95_us\":%.2f,\
+                \"p99_us\":%.2f,\"p999_us\":%.2f,\"breach_fraction\":%.4f,\
+                \"burn_rate\":%.3f,\"peak_groups\":%d}"
+               r.Serve.sv_offered_rps r.Serve.sv_throughput_rps r.Serve.sv_completed
+               r.Serve.sv_rejected r.Serve.sv_rejection_rate r.Serve.sv_p50 r.Serve.sv_p95
+               r.Serve.sv_p99 r.Serve.sv_p999 r.Serve.sv_breach_fraction r.Serve.sv_burn_rate
+               r.Serve.sv_peak_groups))
+        reports;
+      Buffer.add_string buf "]}";
+      print_endline (Buffer.contents buf)
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Shard an open-loop request stream across a pool of NXE groups and report the \
+             throughput-latency curve: p50/p95/p99/p999 and the rejection rate at each \
+             offered-load point, with bounded-queue admission control at saturation.")
+    Term.(const run $ kind_arg $ n_arg $ requests_arg $ pool_arg $ queue_arg $ batch_arg
+          $ rps_arg $ file_kb_arg $ seed_arg $ jitter_arg $ verify_arg $ ir_flag $ json_flag)
+
 let main =
   Cmd.group
     (Cmd.info "bunshin" ~version:"1.0.0"
@@ -1155,7 +1361,7 @@ let main =
     [
       list_cmd; profile_cmd; generate_cmd; run_cmd; exec_cmd; ripe_cmd; cve_cmd;
       forensics_cmd; window_cmd; nvariant_cmd; robustness_cmd; trace_cmd; chaos_cmd;
-      cluster_cmd; slo_cmd;
+      cluster_cmd; slo_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -81,6 +81,19 @@ if dune exec bench/main.exe -- diff slo --quick --scale-baseline 0.8 >/dev/null 
   echo "slo perf gate self-test: injected regression was NOT detected"; exit 1
 fi
 
+# Serving gate: `diff serve --quick` re-runs the open-loop offered-load
+# sweep over the NXE group pool — which itself re-proves neutrality
+# (pooled group reports bit-identical to solo replays on the saturated
+# point) — and pins request conservation counts, the deterministic
+# latency quantiles, the rejection rates and the epoll-style batching
+# factor against the committed BENCH_serve.json.
+echo "== perf gate (bench serve --quick vs committed BENCH_serve.json)"
+dune exec bench/main.exe -- diff serve --quick
+echo "== perf gate self-test (injected serve regression must fail)"
+if dune exec bench/main.exe -- diff serve --quick --scale-baseline 0.8 >/dev/null 2>&1; then
+  echo "serve perf gate self-test: injected regression was NOT detected"; exit 1
+fi
+
 # Profiler smoke: the overhead-attribution path end to end — per-phase
 # decomposition sums to each variant's thread time (the report prints the
 # identity check per variant) and the JSON exporter self-validates.
@@ -186,5 +199,27 @@ echo "$slo_cluster" | grep -q "net_msg       node1" || {
 dune exec bin/bunshin_cli.exe -- slo --requests 40 --prometheus \
   | grep -q "^slo_rendezvous_p99_us" || {
   echo "slo smoke: slo.* gauges missing from the Prometheus export"; exit 1; }
+
+# Serve smoke: the pool front-end end to end — the CLI must print a
+# multi-point throughput-latency curve, demonstrate admission control
+# (bounded admitted p99 while rejections absorb the overload), and prove
+# neutrality (every sampled pooled report bit-identical to a solo
+# replay; the command exits non-zero itself on any mismatch).
+echo "== serve smoke (throughput-latency curve, admission control, neutrality)"
+serve_out=$(dune exec bin/bunshin_cli.exe -- serve --requests 200)
+echo "$serve_out"
+echo "$serve_out" | grep -q "p999" || {
+  echo "serve smoke: no throughput-latency curve header"; exit 1; }
+echo "$serve_out" | grep -q "admission control:" || {
+  echo "serve smoke: no admission-control analysis line"; exit 1; }
+echo "$serve_out" | grep -q "rejected" || {
+  echo "serve smoke: saturation produced no rejection report"; exit 1; }
+echo "$serve_out" | grep -Eq "neutrality: [0-9]+/[0-9]+ pooled group reports bit-identical" || {
+  echo "serve smoke: neutrality check missing or failed"; exit 1; }
+# The IR path must share precompiled variants across the whole pool:
+# exactly N compiles regardless of group count and request count.
+serve_ir=$(dune exec bin/bunshin_cli.exe -- serve --ir -n 3 --requests 120)
+echo "$serve_ir" | grep -q "precompiled variants: 3 compiles" || {
+  echo "serve smoke: IR source did not reuse precompiled variants"; exit 1; }
 
 echo "OK"

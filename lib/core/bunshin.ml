@@ -55,6 +55,7 @@ module Spec = Bunshin_workloads.Spec
 module Multithreaded = Bunshin_workloads.Multithreaded
 module Server = Bunshin_workloads.Server
 module Load = Bunshin_workloads.Load
+module Serve = Bunshin_serve.Serve
 module Experiments = Experiments
 module Bridge = Bridge
 module Model = Model

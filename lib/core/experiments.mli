@@ -169,3 +169,14 @@ val nxe_run :
   ?config:Nxe.config -> ?machine_config:Bunshin_machine.Machine.config ->
   ?on_machine:(Bunshin_machine.Machine.t -> unit) ->
   seed:int -> Bunshin_program.Program.build list -> Nxe.report
+
+(** {1 High-throughput serving (the [bunshin serve] front-end)} *)
+
+val serve_ir_source : ?n:int -> unit -> Bunshin_serve.Serve.source * int ref
+(** An IR-backed request source for {!Bunshin_serve.Serve.run}: [n]
+    variants of a small request-handler kernel, each
+    [Interp.compile]d ONCE here and shared by every pool group (the
+    returned counter stays at [n] however many requests are served —
+    pinned in the test suite).  Each request interprets the precompiled
+    kernel with the request id as argument, so distinct requests are
+    distinct syscall streams. *)

@@ -1104,3 +1104,71 @@ module Waitq = struct
 
   let waiters wq = Tq.length wq
 end
+
+(* Epoll-style readiness batching: producers [post] integer source ids
+   into a ring; a single consumer [wait]s and drains the WHOLE ring in
+   one wakeup.  Only the first post of a batch wakes the consumer —
+   later posts land while it is already Ready and ride the same
+   dispatch, so one scheduler wakeup services many ready sources (the
+   wakeups/events counters expose the amortization factor). *)
+module Poll = struct
+  type mach = t
+
+  type t = {
+    mutable ready : int array;  (* ring of posted source ids, FIFO *)
+    mutable head : int;
+    mutable len : int;
+    mutable waiter : thread option;
+    mutable wakeups : int;  (* batches delivered by [wait] *)
+    mutable events : int;  (* total source ids delivered *)
+  }
+
+  let create () =
+    { ready = Array.make 16 0; head = 0; len = 0; waiter = None; wakeups = 0; events = 0 }
+
+  let grow p =
+    let cap = Array.length p.ready in
+    let a = Array.make (cap * 2) 0 in
+    for i = 0 to p.len - 1 do
+      a.(i) <- p.ready.((p.head + i) mod cap)
+    done;
+    p.ready <- a;
+    p.head <- 0
+
+  let post (m : mach) p src =
+    if p.len = Array.length p.ready then grow p;
+    p.ready.((p.head + p.len) mod Array.length p.ready) <- src;
+    p.len <- p.len + 1;
+    (* Coalesced wake: clearing [waiter] on the first post means the
+       rest of the batch wakes nobody — the woken consumer drains them
+       all when it runs. *)
+    match p.waiter with
+    | Some th ->
+      p.waiter <- None;
+      wake m th
+    | None -> ()
+
+  let wait (m : mach) p =
+    let th = current_thread m in
+    let parked = ref false in
+    while p.len = 0 do
+      p.waiter <- Some th;
+      parked := true;
+      park m
+    done;
+    p.waiter <- None;
+    let cap = Array.length p.ready in
+    let n = p.len in
+    let batch = List.init n (fun i -> p.ready.((p.head + i) mod cap)) in
+    p.head <- (p.head + n) mod cap;
+    p.len <- 0;
+    (* Only a wait that actually parked cost a scheduler wakeup; a wait
+       finding events already pending is the amortization fast path. *)
+    if !parked then p.wakeups <- p.wakeups + 1;
+    p.events <- p.events + n;
+    batch
+
+  let pending p = p.len
+  let wakeups p = p.wakeups
+  let events p = p.events
+end

@@ -250,3 +250,40 @@ module Waitq : sig
   val waiters : t -> int
 end
 
+(** Epoll-style readiness batching for one consumer and many producers:
+    producers {!Poll.post} integer source ids, the consumer {!Poll.wait}s
+    and receives EVERY id posted so far in one batch.  Only the first
+    post of a batch wakes the consumer — later posts coalesce onto the
+    same scheduler wakeup, so a front-end serving many execution groups
+    pays one dispatch per batch of completions, not one per completion.
+    At most one thread may wait on a given poll set. *)
+module Poll : sig
+  type mach := t
+  type t
+
+  val create : unit -> t
+
+  val post : mach -> t -> int -> unit
+  (** Mark a source ready.  Wakes the waiting consumer iff it is the
+      first pending event (later posts coalesce).  Source ids are
+      opaque to the machine; duplicates are delivered as posted. *)
+
+  val wait : mach -> t -> int list
+  (** Park until at least one source is ready, then drain and return the
+      whole pending batch in post order.  Returns immediately (without a
+      scheduler round-trip) if events are already pending. *)
+
+  val pending : t -> int
+  (** Posted-but-undelivered event count. *)
+
+  val wakeups : t -> int
+  (** Waits that had to park — each cost one scheduler wake.  Waits
+      finding events already pending are not counted: they are the
+      amortization fast path. *)
+
+  val events : t -> int
+  (** Total events delivered; [events / wakeups] is the batching
+      (amortization) factor — how many ready sources one scheduler
+      wakeup serviced on average. *)
+end
+

@@ -130,6 +130,48 @@ let cause_string = function
   | Missed_heartbeat silence -> Printf.sprintf "<silent for %.0fus>" silence
   | Benign_death -> "<benign death>"
 
+(* Canonical scalar rendering of a run: every deterministic field of the
+   report that the engine itself computes, at full float precision ("%h"
+   is exact hex notation, so two signatures are equal iff the runs were
+   bit-identical on these fields).  The serving layer compares pooled
+   group runs against solo replays with this; it is also a convenient
+   one-line run fingerprint for goldens and logs. *)
+let report_signature r =
+  let b = Buffer.create 256 in
+  (match r.outcome with
+   | `All_finished -> Buffer.add_string b "finished"
+   | `Aborted a ->
+     Buffer.add_string b
+       (Printf.sprintf "aborted(ch%d@%d v%d %s!=%s)" a.al_channel a.al_position a.al_variant
+          a.al_expected a.al_got));
+  Buffer.add_string b
+    (Printf.sprintf " t=%h syn=%d exe=%d lock=%d gap=%h/%d ord=%d rep=%d ch=%d" r.total_time
+       r.synced_syscalls r.executed_syscalls r.lockstep_syscalls r.avg_syscall_gap
+       r.max_syscall_gap r.order_list_length r.det_replays r.channels);
+  Buffer.add_string b " fin=[";
+  List.iter (fun f -> Buffer.add_string b (Printf.sprintf "%h;" f)) r.variant_finish;
+  Buffer.add_string b "] cpu=[";
+  List.iter (fun c -> Buffer.add_string b (Printf.sprintf "%h;" c)) r.variant_cpu;
+  Buffer.add_string b "] st=[";
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (match s with
+         | Healthy -> "H;"
+         | Quarantined q -> Printf.sprintf "Q@%h(%s,%d);" q.q_time (cause_string q.q_cause) q.q_restarts
+         | Recovered q -> Printf.sprintf "R@%h->%h(%s);" q.q_time q.r_time (cause_string q.q_cause)))
+    r.variant_status;
+  Buffer.add_string b "] hist=[";
+  List.iter
+    (fun (name, buckets) ->
+      Buffer.add_string b name;
+      Buffer.add_char b ':';
+      List.iter (fun (ub, c) -> Buffer.add_string b (Printf.sprintf "%h*%d," ub c)) buckets;
+      Buffer.add_char b ';')
+    r.histograms;
+  Buffer.add_string b "]";
+  Buffer.contents b
+
 (* ------------------------------------------------------------------ *)
 (* Internal state *)
 

@@ -218,6 +218,14 @@ type report = {
 val quarantined_variants : report -> int list
 (** Indices still [Quarantined] at the end of the run. *)
 
+val report_signature : report -> string
+(** Canonical one-line fingerprint of every deterministic scalar the
+    engine computes (outcome, times at exact hex float precision, sync
+    counters, per-variant finish/CPU/status, histogram buckets).  Two
+    runs with equal signatures took bit-identical schedules on these
+    fields — the serving layer uses this to prove pooled group runs are
+    bit-identical to solo replays (neutrality). *)
+
 val run_traces :
   ?config:config ->
   ?machine_config:M.config ->

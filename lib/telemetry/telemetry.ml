@@ -111,6 +111,31 @@ module Hist = struct
        with Exit -> ());
       !res
     end
+
+  (* Multi-quantile from one cumulative pass over the counts (the
+     bucketed analogue of Stats.percentiles' single sort): each result
+     is exactly what [quantile] returns for that p. *)
+  let quantiles h ps =
+    if h.h_n = 0 then List.map (fun _ -> 0.0) ps
+    else begin
+      let k = Array.length h.bounds in
+      let cum = Array.make (k + 1) 0 in
+      let acc = ref 0 in
+      for i = 0 to k do
+        acc := !acc + h.counts.(i);
+        cum.(i) <- !acc
+      done;
+      List.map
+        (fun p ->
+          let rank = int_of_float (ceil (p /. 100.0 *. float_of_int (h.h_n - 1))) in
+          let rank = if rank < 0 then 0 else if rank > h.h_n - 1 then h.h_n - 1 else rank in
+          let i = ref 0 in
+          while cum.(!i) <= rank do
+            incr i
+          done;
+          if !i < k then h.bounds.(!i) else h.h_max)
+        ps
+    end
 end
 
 (* ------------------------------------------------------------------ *)

@@ -143,6 +143,12 @@ module Hist : sig
       bucket holding the rank-[p] observation — i.e. an estimate no more
       than one bucket width above the exact sample quantile.  Ranks that
       land in the overflow bucket return {!max_value}; 0. when empty. *)
+
+  val quantiles : t -> float list -> float list
+  (** [quantiles h ps]: every requested quantile from ONE cumulative
+      pass over the buckets (the bucketed analogue of
+      {!Bunshin_util.Stats.percentiles}); each element equals
+      [quantile h p] exactly. *)
 end
 
 val counter : sink -> string -> Counter.t

@@ -28,41 +28,43 @@ let median xs =
     let a = Array.of_list s in
     if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
+(* Linear interpolation on the sorted sample [a] at rank p/100*(n-1).
+   The rank is clamped into [0, n-1] BEFORE flooring, so out-of-range p
+   degrades to the extreme order statistic (p < 0 -> minimum,
+   p > 100 -> maximum) instead of indexing out of bounds; in-range p is
+   untouched.  Shared by [percentile] and [percentiles] so the two agree
+   on every input, including boundary and invalid p (pinned in
+   test_util). *)
+let rank_value a n p =
+  if n = 1 then a.(0)
+  else begin
+    let top = float_of_int (n - 1) in
+    let rank = p /. 100.0 *. top in
+    let rank = if rank < 0.0 then 0.0 else if rank > top then top else rank in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
 let percentile p xs =
   match sorted xs with
   | [] -> 0.0
   | s ->
     let a = Array.of_list s in
-    let n = Array.length a in
-    if n = 1 then a.(0)
-    else
-      let rank = p /. 100.0 *. float_of_int (n - 1) in
-      let lo = int_of_float (floor rank) in
-      let hi = min (n - 1) (lo + 1) in
-      let frac = rank -. float_of_int lo in
-      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+    rank_value a (Array.length a) p
 
 (* Single-sort multi-quantile: one [Array.sort] serves every requested
    rank, where calling [percentile] k times would sort k times.  The
-   rank arithmetic is identical to [percentile]'s, so the two agree
-   exactly (pinned in test_util). *)
+   rank arithmetic is [rank_value], the same as [percentile]'s, so the
+   two agree exactly (pinned in test_util). *)
 let percentiles samples ps =
   let n = Array.length samples in
   if n = 0 then List.map (fun _ -> 0.0) ps
   else begin
     let a = Array.copy samples in
     Array.sort compare a;
-    List.map
-      (fun p ->
-        if n = 1 then a.(0)
-        else
-          let rank = p /. 100.0 *. float_of_int (n - 1) in
-          let lo = int_of_float (floor rank) in
-          let lo = if lo < 0 then 0 else if lo > n - 1 then n - 1 else lo in
-          let hi = min (n - 1) (lo + 1) in
-          let frac = rank -. float_of_int lo in
-          a.(lo) +. (frac *. (a.(hi) -. a.(lo))))
-      ps
+    List.map (rank_value a n) ps
   end
 
 let minimum = function [] -> 0.0 | x :: xs -> List.fold_left min x xs

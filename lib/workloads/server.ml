@@ -52,15 +52,25 @@ let profile =
   }
 
 let make kind ~file_kb ~connections ~requests =
+  if connections < 1 then invalid_arg "Server.make: connections must be >= 1";
+  if requests < 1 then invalid_arg "Server.make: requests must be >= 1";
   let nworkers = workers kind in
+  (* Worker [w] serves [requests / nworkers] requests, plus one of the
+     [requests mod nworkers] leftovers for the first workers — so every
+     request is generated exactly once even when the count does not
+     divide evenly (plain truncating division silently dropped the
+     remainder).  Ids stay globally unique and dense. *)
   let per_worker = requests / nworkers in
+  let extra = requests mod nworkers in
+  let count w = per_worker + if w < extra then 1 else 0 in
+  let first w = (w * per_worker) + min w extra in
   (* All workers share one 1 Gb/s link: each sees every nworkers-th wire
      slot, so the per-worker inter-request gap scales with worker count. *)
   let idle = network_gap_us ~file_kb *. float_of_int nworkers in
   let worker_ops widx =
     List.concat
-      (List.init per_worker (fun i ->
-           let req_id = (widx * per_worker) + i in
+      (List.init (count widx) (fun i ->
+           let req_id = first widx + i in
            let body = request_ops kind ~file_kb ~connections ~idle ~req_id in
            (* nginx re-arms its accept mutex per event batch, not per
               request (epoll batching); modelled as one acquisition every
@@ -105,9 +115,10 @@ let slo_target_us = function Lighttpd -> 12.0 | Nginx -> 20.0
 let slo_error_budget = 0.01
 
 let per_request_us ~kind ~file_kb ~requests ~total_time =
-  (* Per-request processing time: each worker handles requests/workers
-     requests serially; the shared-wire transmission gap is not
-     processing. *)
-  let per_worker = requests / workers kind in
+  (* Per-request processing time: the run's span is set by the busiest
+     worker, which serves ceil(requests/workers) requests serially
+     (matching [make]'s remainder distribution); the shared-wire
+     transmission gap is not processing. *)
+  let per_worker = (requests + workers kind - 1) / workers kind in
   (total_time /. float_of_int per_worker)
   -. (network_gap_us ~file_kb *. float_of_int (workers kind))

@@ -13,7 +13,19 @@ type kind = Lighttpd | Nginx
 val make :
   kind -> file_kb:int -> connections:int -> requests:int -> Bench.t
 (** Build the server benchmark.  [requests] is the total number of requests
-    the run serves (split across workers for nginx). *)
+    the run serves (split across workers for nginx, with the remainder
+    distributed so none are dropped).
+    @raise Invalid_argument if [connections < 1] (the event-loop
+    amortization model divides by it) or [requests < 1]. *)
+
+val request_ops :
+  kind ->
+  file_kb:int -> connections:int -> idle:float -> req_id:int ->
+  Bunshin_program.Trace.op list
+(** The op stream of one request: event-loop share, accept, read, parse,
+    per-chunk copy+write, then [idle] us of wire gap.  [req_id] is baked
+    into the syscall arguments, so distinct requests are distinct syscall
+    streams (the serving front-end builds per-request traces from this). *)
 
 val per_request_us :
   kind:kind -> file_kb:int -> requests:int -> total_time:float -> float

@@ -363,6 +363,75 @@ let test_waitq_broadcast () =
   Alcotest.(check int) "all woken" 5 !count
 
 (* ------------------------------------------------------------------ *)
+(* Poll: epoll-style readiness batching *)
+
+let test_poll_batch_coalesces () =
+  (* Three posts land while the consumer is parked: one scheduler wakeup
+     must deliver the whole batch, in post order. *)
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  let poll = M.Poll.create () in
+  let got = ref [] in
+  ignore (M.spawn m p ~name:"consumer" (fun () -> got := M.Poll.wait m poll));
+  ignore
+    (M.spawn m p ~name:"producer" (fun () ->
+         M.compute m 5.0;
+         M.Poll.post m poll 7;
+         M.Poll.post m poll 8;
+         M.Poll.post m poll 7));
+  M.run m;
+  Alcotest.(check (list int)) "whole batch, post order, dups kept" [ 7; 8; 7 ] !got;
+  Alcotest.(check int) "one parked wait" 1 (M.Poll.wakeups poll);
+  Alcotest.(check int) "three events" 3 (M.Poll.events poll);
+  Alcotest.(check int) "nothing pending" 0 (M.Poll.pending poll)
+
+let test_poll_fast_path_no_park () =
+  (* Events already pending when wait is called: it must return at once,
+     without a scheduler round-trip, and not count as a wakeup. *)
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  let poll = M.Poll.create () in
+  let got = ref [] in
+  ignore
+    (M.spawn m p ~name:"self" (fun () ->
+         M.Poll.post m poll 1;
+         M.Poll.post m poll 2;
+         let t0 = M.now m in
+         got := M.Poll.wait m poll;
+         check_time "no simulated time elapsed" t0 (M.now m)));
+  M.run m;
+  Alcotest.(check (list int)) "drained" [ 1; 2 ] !got;
+  Alcotest.(check int) "fast path is not a wakeup" 0 (M.Poll.wakeups poll);
+  Alcotest.(check int) "events still counted" 2 (M.Poll.events poll)
+
+let test_poll_no_lost_events () =
+  (* Many producers posting at staggered times against a looping
+     consumer: every id must be delivered exactly once, however the
+     batches happen to split. *)
+  let m = M.create ~config:(cfg ()) () in
+  let p = M.new_proc m ~name:"p" ~working_set:1.0 () in
+  let poll = M.Poll.create () in
+  let n = 12 in
+  let got = ref [] in
+  for i = 0 to n - 1 do
+    ignore
+      (M.spawn m p ~name:(Printf.sprintf "prod%d" i) (fun () ->
+           M.sleep m (float_of_int (1 + (i mod 5)));
+           M.Poll.post m poll i))
+  done;
+  ignore
+    (M.spawn m p ~name:"consumer" (fun () ->
+         while List.length !got < n do
+           got := !got @ M.Poll.wait m poll
+         done));
+  M.run m;
+  Alcotest.(check (list int)) "each id exactly once"
+    (List.init n (fun i -> i))
+    (List.sort compare !got);
+  Alcotest.(check int) "events = posts" n (M.Poll.events poll);
+  Alcotest.(check bool) "batching amortized wakeups" true (M.Poll.wakeups poll <= n)
+
+(* ------------------------------------------------------------------ *)
 (* Determinism *)
 
 let simulate_workload seed =
@@ -452,6 +521,12 @@ let () =
         [
           Alcotest.test_case "signal fifo" `Quick test_waitq_signal_fifo;
           Alcotest.test_case "broadcast" `Quick test_waitq_broadcast;
+        ] );
+      ( "poll",
+        [
+          Alcotest.test_case "batch coalesces" `Quick test_poll_batch_coalesces;
+          Alcotest.test_case "fast path no park" `Quick test_poll_fast_path_no_park;
+          Alcotest.test_case "no lost events" `Quick test_poll_no_lost_events;
         ] );
       ( "determinism",
         [ Alcotest.test_case "identical runs" `Quick test_determinism ]

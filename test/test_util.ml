@@ -205,6 +205,20 @@ let test_stats_percentiles_agree () =
     (fun p v -> check_float (Printf.sprintf "p%g" p) (Stats.percentile p xs) v)
     ps multi
 
+let test_stats_percentile_clamped () =
+  (* p outside [0,100] used to index out of bounds in [percentile]; both
+     helpers must clamp to the extreme order statistics and agree with
+     each other on every input, valid or not. *)
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  let ps = [ -10.0; 0.0; 50.0; 100.0; 150.0 ] in
+  check_float "p<0 clamps to min" 10.0 (Stats.percentile (-10.0) xs);
+  check_float "p>100 clamps to max" 40.0 (Stats.percentile 150.0 xs);
+  check_float "singleton out of range" 7.0 (Stats.percentile 200.0 [ 7.0 ]);
+  let multi = Stats.percentiles (Array.of_list xs) ps in
+  List.iter2
+    (fun p v -> check_float (Printf.sprintf "p%g" p) (Stats.percentile p xs) v)
+    ps multi
+
 let test_stats_percentiles_edges () =
   Alcotest.(check (list (float 1e-9))) "empty -> zeros" [ 0.0; 0.0 ]
     (Stats.percentiles [||] [ 50.0; 99.0 ]);
@@ -328,8 +342,9 @@ let prop_shuffle_preserves_multiset =
       List.sort compare (Array.to_list arr) = List.sort compare xs)
 
 let prop_percentile_bounded =
+  (* Including out-of-range p: the clamp keeps results inside [min,max]. *)
   QCheck.Test.make ~name:"stats: percentile within min/max" ~count:300
-    QCheck.(pair (float_range 0.0 100.0) (list_of_size Gen.(1 -- 50) (float_range (-1e3) 1e3)))
+    QCheck.(pair (float_range (-50.0) 150.0) (list_of_size Gen.(1 -- 50) (float_range (-1e3) 1e3)))
     (fun (p, xs) ->
       let v = Stats.percentile p xs in
       v >= Stats.minimum xs -. 1e-9 && v <= Stats.maximum xs +. 1e-9)
@@ -339,7 +354,7 @@ let prop_percentiles_agree =
     QCheck.(
       pair
         (list_of_size Gen.(1 -- 40) (float_range (-1e3) 1e3))
-        (list_of_size Gen.(1 -- 8) (float_range 0.0 100.0)))
+        (list_of_size Gen.(1 -- 8) (float_range (-50.0) 150.0)))
     (fun (xs, ps) ->
       let multi = Stats.percentiles (Array.of_list xs) ps in
       List.for_all2
@@ -388,6 +403,7 @@ let () =
           Alcotest.test_case "median" `Quick test_stats_median;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "percentiles agree" `Quick test_stats_percentiles_agree;
+          Alcotest.test_case "percentile clamped" `Quick test_stats_percentile_clamped;
           Alcotest.test_case "percentiles edges" `Quick test_stats_percentiles_edges;
           Alcotest.test_case "overhead" `Quick test_stats_overhead;
           Alcotest.test_case "pct" `Quick test_stats_pct;
